@@ -1,0 +1,396 @@
+// Benchmark harness: one benchmark per evaluation artifact of the paper.
+//
+//   - BenchmarkTable1Diffusion  — Table 1 (diffusion model)
+//   - BenchmarkTable2Matching   — Table 2 (periodic + random matching models)
+//   - BenchmarkTheorem3ScalingD / ScalingWmax — the Theorem 3 "figures"
+//   - BenchmarkTheorem8Scaling  — the Theorem 8 "figure"
+//   - BenchmarkConvergenceTime  — T(FOS) vs T(SOS) vs T(matching)
+//   - BenchmarkDummyTokens      — Lemma 7/11 dummy-token sweep
+//   - BenchmarkSOSNegativeLoad  — Definition 1 check (only SOS violates)
+//
+// Each benchmark logs the reproduced rows (so `go test -bench=.` regenerates
+// the paper's tables) and reports the headline measured value as a custom
+// metric. Micro-benchmarks for the per-round cost of the core processes are
+// at the bottom.
+package discretelb_test
+
+import (
+	"math/rand"
+	"testing"
+
+	discretelb "repro"
+
+	"repro/internal/experiments"
+	"repro/internal/graph"
+)
+
+func benchConfig() experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.Trials = 3
+	return cfg
+}
+
+func BenchmarkTable1Diffusion(b *testing.B) {
+	cfg := benchConfig()
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.FormatTable1(rows))
+	worstAlg1 := 0.0
+	for _, r := range rows {
+		if r.Scheme == experiments.SchemeAlg1.String() && r.MaxMin > worstAlg1 {
+			worstAlg1 = r.MaxMin
+		}
+	}
+	b.ReportMetric(worstAlg1, "alg1-worst-maxmin")
+}
+
+func BenchmarkTable2Matching(b *testing.B) {
+	cfg := benchConfig()
+	var rows []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.FormatTable2(rows))
+	worstAlg1 := 0.0
+	for _, r := range rows {
+		if r.Scheme == experiments.SchemeMatchAlg1.String() && r.MaxMin > worstAlg1 {
+			worstAlg1 = r.MaxMin
+		}
+	}
+	b.ReportMetric(worstAlg1, "alg1-worst-maxmin")
+}
+
+func BenchmarkTheorem3ScalingD(b *testing.B) {
+	cfg := benchConfig()
+	dims := []int{3, 4, 5, 6, 7}
+	sizes := []int{32, 64, 128}
+	var points []experiments.ScalePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiments.Theorem3ScalingD(dims, sizes, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.FormatScalePoints("F1 — Theorem 3 scaling in d and n", points))
+	worstRatio := 0.0
+	for _, p := range points {
+		if p.Bound > 0 && p.Value/p.Bound > worstRatio {
+			worstRatio = p.Value / p.Bound
+		}
+	}
+	b.ReportMetric(worstRatio, "worst-value/bound")
+}
+
+func BenchmarkTheorem3ScalingWmax(b *testing.B) {
+	cfg := benchConfig()
+	wmaxes := []int64{1, 2, 4, 8}
+	var points []experiments.ScalePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiments.Theorem3ScalingWmax(wmaxes, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.FormatScalePoints("F2 — Theorem 3 scaling in wmax", points))
+	worstRatio := 0.0
+	for _, p := range points {
+		if p.Bound > 0 && p.Value/p.Bound > worstRatio {
+			worstRatio = p.Value / p.Bound
+		}
+	}
+	b.ReportMetric(worstRatio, "worst-value/bound")
+}
+
+func BenchmarkTheorem8Scaling(b *testing.B) {
+	cfg := benchConfig()
+	dims := []int{3, 4, 5, 6, 7}
+	sizes := []int{32, 64, 128}
+	var points []experiments.ScalePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiments.Theorem8Scaling(dims, sizes, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.FormatScalePoints("F3 — Theorem 8 scaling in d and n", points))
+	worstRatio := 0.0
+	for _, p := range points {
+		if p.Bound > 0 && p.Value/p.Bound > worstRatio {
+			worstRatio = p.Value / p.Bound
+		}
+	}
+	b.ReportMetric(worstRatio, "worst-value/bound")
+}
+
+func BenchmarkConvergenceTime(b *testing.B) {
+	cfg := benchConfig()
+	graphs := map[string]*graph.Graph{}
+	if g, err := graph.Cycle(48); err == nil {
+		graphs["cycle-48"] = g
+	}
+	if g, err := graph.Torus(8, 8); err == nil {
+		graphs["torus-8x8"] = g
+	}
+	if g, err := graph.Hypercube(6); err == nil {
+		graphs["hypercube-6"] = g
+	}
+	var points []experiments.ConvergencePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiments.ConvergenceTimes(graphs, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.FormatConvergence(points))
+	for _, p := range points {
+		if p.Graph == "cycle-48" {
+			b.ReportMetric(float64(p.TFOS)/float64(p.TSOS), "cycle-fos/sos-speedup")
+		}
+	}
+}
+
+func BenchmarkDummyTokens(b *testing.B) {
+	cfg := benchConfig()
+	floors := []int64{0, 2, 4, 8}
+	var points []experiments.ScalePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiments.DummyTokenSweep(floors, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.FormatScalePoints("F5 — dummy tokens vs initial floor", points))
+}
+
+func BenchmarkSOSNegativeLoad(b *testing.B) {
+	cfg := benchConfig()
+	var points []experiments.ScalePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiments.SOSNegativeLoadCheck(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.FormatScalePoints("F6 — Definition 1 (negative load) check", points))
+}
+
+func BenchmarkTable3GeneralModel(b *testing.B) {
+	cfg := benchConfig()
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table3(cfg, 6, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.FormatRows(
+		"Table 3 (extension) — general model (wmax=6, speeds 1..4)", rows))
+}
+
+func BenchmarkCycleLowerBound(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MaxRounds = 5_000_000
+	sizes := []int{16, 32, 64}
+	var points []experiments.ScalePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiments.CycleLowerBound(sizes, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.FormatScalePoints("F11 — cycle lower-bound separation", points))
+}
+
+func BenchmarkPotentialDrop(b *testing.B) {
+	cfg := benchConfig()
+	var points []experiments.ScalePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiments.PotentialDrop(cfg, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.FormatScalePoints("F7 — potential drop", points))
+}
+
+func BenchmarkAblationAlpha(b *testing.B) {
+	cfg := benchConfig()
+	var points []experiments.ScalePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiments.AlphaAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.FormatScalePoints("F8 — alpha ablation", points))
+}
+
+func BenchmarkAblationPolicy(b *testing.B) {
+	cfg := benchConfig()
+	var points []experiments.ScalePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiments.PolicyAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.FormatScalePoints("F9 — policy ablation", points))
+}
+
+func BenchmarkAblationBetaAndRotor(b *testing.B) {
+	cfg := benchConfig()
+	var beta, rotor []experiments.ScalePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		beta, err = experiments.BetaSweep([]float64{1.0, 1.5, 1.8}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rotor, err = experiments.ExcessVsRotor(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + experiments.FormatScalePoints("F10 — SOS beta sweep", beta))
+	b.Log("\n" + experiments.FormatScalePoints("F10b — excess vs rotor", rotor))
+}
+
+// --- Micro-benchmarks: per-round cost of the core processes ---
+
+func benchGraphAndLoad(b *testing.B) (*discretelb.Graph, discretelb.Speeds, discretelb.Vector) {
+	b.Helper()
+	g, err := discretelb.NewTorus(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := discretelb.UniformSpeeds(g.N())
+	x0, err := discretelb.PointMass(g.N(), 64*int64(g.N()), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, s, x0
+}
+
+func BenchmarkFOSRound(b *testing.B) {
+	g, s, x0 := benchGraphAndLoad(b)
+	alpha, err := discretelb.DefaultAlphas(g, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := discretelb.NewFOS(g, s, alpha, x0.Float())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}
+
+func BenchmarkAlg1Round(b *testing.B) {
+	g, s, x0 := benchGraphAndLoad(b)
+	alpha, err := discretelb.DefaultAlphas(g, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist, err := discretelb.NewTokens(x0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := discretelb.NewFlowImitation(g, s, dist, discretelb.FOSFactory(g, s, alpha), discretelb.PolicyLIFO)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}
+
+func BenchmarkAlg2Round(b *testing.B) {
+	g, s, x0 := benchGraphAndLoad(b)
+	alpha, err := discretelb.DefaultAlphas(g, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := discretelb.NewRandomizedFlowImitation(g, s, x0, discretelb.FOSFactory(g, s, alpha),
+		rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}
+
+func BenchmarkDistClusterRound(b *testing.B) {
+	g, s, x0 := benchGraphAndLoad(b)
+	alpha, err := discretelb.DefaultAlphas(g, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist, err := discretelb.NewTokens(x0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := discretelb.NewCluster(g, s, dist, discretelb.FOSMaker(g, s, alpha))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}
+
+func BenchmarkRoundDownRound(b *testing.B) {
+	g, s, x0 := benchGraphAndLoad(b)
+	alpha, err := discretelb.DefaultAlphas(g, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := discretelb.NewRoundDownDiffusion(g, s, alpha, x0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}

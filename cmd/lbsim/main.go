@@ -1,0 +1,103 @@
+// Command lbsim runs a single (graph, continuous process, discrete scheme)
+// configuration and prints a discrepancy trace — the basic inspection tool
+// of this repository.
+//
+// Usage:
+//
+//	lbsim -graph hypercube:8 -scheme alg1 -cont fos -tokens 64 [-trace 10] [-json]
+//
+// Graphs: hypercube:<dim>, torus:<side>, cycle:<n>, grid:<side>,
+// regular:<n>:<d>, er:<n>, complete:<n>, star:<n>, lollipop:<clique>:<path>.
+// Schemes: alg1, alg2, round-down, det-accum, rand-round, excess, rotor,
+// match-round-down, match-rand-round, match-alg1, match-alg2.
+// Continuous drivers (for alg1/alg2): fos, sos, match-periodic, match-random.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/load"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		graphSpec = flag.String("graph", "hypercube:8", "graph specification")
+		scheme    = flag.String("scheme", "alg1", "discrete scheme")
+		contName  = flag.String("cont", "fos", "continuous driver for alg1/alg2")
+		tokens    = flag.Int64("tokens", 64, "tokens per node, all on node 0")
+		maxSpeed  = flag.Int64("maxspeed", 1, "random speeds in {1..maxspeed}")
+		seed      = flag.Int64("seed", 1, "random seed")
+		traceEach = flag.Int("trace", 0, "print the discrepancy every N rounds (0 = final only)")
+		rounds    = flag.Int("rounds", 0, "override round count (0 = continuous balancing time)")
+		maxProbe  = flag.Int("maxrounds", 500000, "cap for the balancing-time probe")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
+		withLoad  = flag.Bool("json-load", false, "include the final load vector in JSON output")
+	)
+	flag.Parse()
+
+	g, err := cli.ParseGraph(*graphSpec, *seed)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var s load.Speeds
+	if *maxSpeed <= 1 {
+		s = load.UniformSpeeds(g.N())
+	} else {
+		s, err = workload.RandomSpeeds(g.N(), *maxSpeed, rng)
+		if err != nil {
+			return err
+		}
+	}
+	x0, err := workload.PointMass(g.N(), *tokens*int64(g.N()), 0)
+	if err != nil {
+		return err
+	}
+
+	factory, sched, err := cli.BuildFactory(*contName, g, s, *seed)
+	if err != nil {
+		return err
+	}
+	bt := *rounds
+	if bt == 0 {
+		bt, err = sim.TimeToBalance(factory, x0.Float(), *maxProbe)
+		if err != nil {
+			return err
+		}
+	}
+
+	p, err := cli.BuildScheme(*scheme, g, s, sched, factory, x0, rng)
+	if err != nil {
+		return err
+	}
+
+	res, err := sim.Run(p, sim.Options{Rounds: bt, RealTotal: x0.Total(), TraceEvery: *traceEach})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return res.WriteJSON(os.Stdout, *withLoad)
+	}
+	fmt.Printf("%s on %s (n=%d, m=%d, d=%d), W=%d, T=%d\n",
+		p.Name(), *graphSpec, g.N(), g.M(), g.MaxDegree(), x0.Total(), bt)
+	for _, pt := range res.Trace {
+		fmt.Printf("  round %6d: max-min %8.2f  max-avg %8.2f  dummies %d\n",
+			pt.Round, pt.MaxMin, pt.MaxAvg, pt.Dummies)
+	}
+	fmt.Printf("final: max-min %.2f  max-avg %.2f  dummies %d  negative %v\n",
+		res.MaxMin, res.MaxAvg, res.Dummies, res.WentNegative)
+	return nil
+}

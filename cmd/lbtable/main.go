@@ -1,0 +1,75 @@
+// Command lbtable regenerates the paper's Table 1 (diffusion model) and
+// Table 2 (matching model): final max-min discrepancy of every discrete
+// scheme at the continuous balancing time T, per graph class.
+//
+// Usage:
+//
+//	lbtable [-n 256] [-tokens 64] [-trials 8] [-seed 1] [-quick] [-table 1|2|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lbtable:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n        = flag.Int("n", 256, "target node count per graph instance")
+		tokens   = flag.Int64("tokens", 64, "tokens per node (total load = tokens*n on node 0)")
+		trials   = flag.Int("trials", 8, "seeds per randomized scheme")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		quick    = flag.Bool("quick", false, "use the reduced smoke-test configuration")
+		table    = flag.String("table", "all", "which table to print: 1, 2, 3, or all")
+		wmax     = flag.Int64("wmax", 8, "maximum task weight for table 3")
+		maxSpeed = flag.Int64("maxspeed", 4, "maximum node speed for table 3")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	} else {
+		cfg.N = *n
+		cfg.TokensPerNode = *tokens
+		cfg.Trials = *trials
+		cfg.Seed = *seed
+	}
+
+	if *table == "1" || *table == "all" {
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable1(rows))
+		fmt.Println()
+	}
+	if *table == "2" || *table == "all" {
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable2(rows))
+		fmt.Println()
+	}
+	if *table == "3" || *table == "all" {
+		rows, err := experiments.Table3(cfg, *wmax, *maxSpeed)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf(
+			"Table 3 (extension) — general model: weighted tasks (wmax=%d) + speeds (1..%d)",
+			*wmax, *maxSpeed)
+		fmt.Print(experiments.FormatRows(title, rows))
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+// Compare: every diffusion-model discrete scheme side by side on a 2-d
+// torus — the low-expansion graph class where the paper's flow-imitation
+// algorithms separate most clearly from round-down (whose final discrepancy
+// grows with the diameter, Table 1's n^{1/r} column).
+//
+// Run with:
+//
+//	go run ./examples/compare
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	discretelb "repro"
+)
+
+func main() {
+	const (
+		side  = 16
+		seed  = 3
+		probe = 500_000
+	)
+	g, err := discretelb.NewTorus(side, side)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := discretelb.UniformSpeeds(g.N())
+	tokens, err := discretelb.PointMass(g.N(), 64*int64(g.N()), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alpha, err := discretelb.DefaultAlphas(g, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	factory := discretelb.FOSFactory(g, s, alpha)
+	bt, err := discretelb.TimeToBalance(factory, tokens.Float(), probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("torus %dx%d, %d tokens on node 0, T = %d rounds\n\n",
+		side, side, tokens.Total(), bt)
+	fmt.Printf("%-28s %10s %10s %9s %5s\n", "scheme", "max-min", "max-avg", "dummies", "neg")
+
+	type build func() (discretelb.DiscreteProcess, error)
+	schemes := []struct {
+		name  string
+		build build
+	}{
+		{"round-down [37]", func() (discretelb.DiscreteProcess, error) {
+			return discretelb.NewRoundDownDiffusion(g, s, alpha, tokens)
+		}},
+		{"deterministic [26]", func() (discretelb.DiscreteProcess, error) {
+			return discretelb.NewDeterministicAccum(g, s, alpha, tokens)
+		}},
+		{"rand-round [26]", func() (discretelb.DiscreteProcess, error) {
+			return discretelb.NewRandomizedRounding(g, s, alpha, tokens, rand.New(rand.NewSource(seed)))
+		}},
+		{"excess-token [9]", func() (discretelb.DiscreteProcess, error) {
+			return discretelb.NewExcessToken(g, s, alpha, tokens, rand.New(rand.NewSource(seed)))
+		}},
+		{"Alg 1 (this paper)", func() (discretelb.DiscreteProcess, error) {
+			dist, err := discretelb.NewTokens(tokens)
+			if err != nil {
+				return nil, err
+			}
+			return discretelb.NewFlowImitation(g, s, dist, factory, discretelb.PolicyLIFO)
+		}},
+		{"Alg 2 (this paper)", func() (discretelb.DiscreteProcess, error) {
+			return discretelb.NewRandomizedFlowImitation(g, s, tokens, factory, rand.New(rand.NewSource(seed)))
+		}},
+	}
+	for _, sc := range schemes {
+		p, err := sc.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := discretelb.Run(p, discretelb.RunOptions{Rounds: bt, RealTotal: tokens.Total()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %10.1f %10.1f %9d %5v\n",
+			sc.name, res.MaxMin, res.MaxAvg, res.Dummies, res.WentNegative)
+	}
+	fmt.Printf("\nTheorem 3 bound for Alg 1 (max-avg): %d\n", 2*g.MaxDegree()+2)
+}

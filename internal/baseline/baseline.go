@@ -1,0 +1,110 @@
+// Package baseline implements the prior discrete load balancing schemes the
+// paper compares against in Tables 1 and 2. Unlike the paper's Algorithms 1
+// and 2 (package core), these schemes do not imitate a separately simulated
+// continuous run: every round they compute the continuous flow from their
+// own current (integer) load and round it, following the framework of Rabani,
+// Sinclair and Wanka.
+//
+//   - RoundDownDiffusion: y_{i,j} = floor((α_e/s_i)·x_i), the classic
+//     round-down FOS of [37]/[34]. Final discrepancy grows with d·diam(G).
+//   - DeterministicAccum: the bounded-error deterministic rounding of
+//     Friedrich, Gairing and Sauerwald [26]; each directed edge tracks its
+//     accumulated rounding error and picks floor or ceil to minimize it.
+//   - RandomizedRounding: the per-edge randomized rounding FOS of [26]
+//     (also [39]); rounds up with probability equal to the fractional part.
+//   - ExcessToken: the randomized diffusion of Berenbrink, Cooper,
+//     Friedetzky, Friedrich and Sauerwald [9]: floor everything, then send
+//     the excess tokens to distinct random neighbours — never creates
+//     negative load.
+//   - RoundDownMatching / RandomizedMatching: the matching-model analogues
+//     ([37] and Friedrich–Sauerwald [24]).
+//
+// DeterministicAccum and RandomizedRounding may drive nodes negative (the
+// literature's "negative load"); this is tracked, and flow out of a
+// non-positive node is suppressed, matching the usual simulation convention.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/continuous"
+	"repro/internal/graph"
+	"repro/internal/load"
+)
+
+// base carries the state shared by the diffusion-model baselines.
+type base struct {
+	g     *graph.Graph
+	s     load.Speeds
+	alpha continuous.Alphas
+	x     load.Vector
+	delta []int64
+	t     int
+	neg   bool
+}
+
+func newBase(g *graph.Graph, s load.Speeds, alpha continuous.Alphas, x0 load.Vector) (*base, error) {
+	if g == nil {
+		return nil, errors.New("baseline: nil graph")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s) != g.N() {
+		return nil, fmt.Errorf("baseline: speeds length %d != n %d", len(s), g.N())
+	}
+	if err := continuous.ValidateAlphas(g, s, alpha); err != nil {
+		return nil, err
+	}
+	if len(x0) != g.N() {
+		return nil, fmt.Errorf("baseline: load length %d != n %d", len(x0), g.N())
+	}
+	for i, c := range x0 {
+		if c < 0 {
+			return nil, fmt.Errorf("baseline: node %d has negative load %d", i, c)
+		}
+	}
+	return &base{
+		g:     g,
+		s:     s.Clone(),
+		alpha: append(continuous.Alphas(nil), alpha...),
+		x:     x0.Clone(),
+		delta: make([]int64, g.N()),
+	}, nil
+}
+
+// Graph returns the network.
+func (b *base) Graph() *graph.Graph { return b.g }
+
+// Speeds returns the node speeds.
+func (b *base) Speeds() load.Speeds { return b.s }
+
+// Round returns the index of the next round to execute.
+func (b *base) Round() int { return b.t }
+
+// Load returns a copy of the current load vector.
+func (b *base) Load() load.Vector { return b.x.Clone() }
+
+// DummiesCreated always reports 0: baselines have no infinite source.
+func (b *base) DummiesCreated() int64 { return 0 }
+
+// WentNegative reports whether any node ever held negative load.
+func (b *base) WentNegative() bool { return b.neg }
+
+// applyDelta commits one round's transfers and updates the negative-load
+// flag.
+func (b *base) applyDelta() {
+	for i := range b.x {
+		b.x[i] += b.delta[i]
+		b.delta[i] = 0
+		if b.x[i] < 0 {
+			b.neg = true
+		}
+	}
+	b.t++
+}
+
+// rate returns α_e/s_i, the continuous per-round sending rate of node i over
+// edge e.
+func (b *base) rate(e, i int) float64 { return b.alpha[e] / float64(b.s[i]) }

@@ -1,0 +1,354 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/continuous"
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/matching"
+	"repro/internal/workload"
+)
+
+func setup(t *testing.T, n int) (*graph.Graph, load.Speeds, continuous.Alphas, load.Vector) {
+	t.Helper()
+	g, err := graph.Torus(n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := load.UniformSpeeds(g.N())
+	a, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0, err := workload.PointMass(g.N(), 64*int64(g.N()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s, a, x0
+}
+
+func TestNewBaseValidation(t *testing.T) {
+	g, s, a, x0 := setup(t, 4)
+	if _, err := NewRoundDownDiffusion(nil, s, a, x0); err == nil {
+		t.Error("nil graph should error")
+	}
+	if _, err := NewRoundDownDiffusion(g, load.Speeds{1}, a, x0); err == nil {
+		t.Error("short speeds should error")
+	}
+	if _, err := NewRoundDownDiffusion(g, s, a, load.Vector{1}); err == nil {
+		t.Error("short load should error")
+	}
+	if _, err := NewRoundDownDiffusion(g, s, a[:1], x0); err == nil {
+		t.Error("short alphas should error")
+	}
+	neg := x0.Clone()
+	neg[1] = -1
+	if _, err := NewRoundDownDiffusion(g, s, a, neg); err == nil {
+		t.Error("negative initial load should error")
+	}
+}
+
+func TestRoundDownDiffusionBehaviour(t *testing.T) {
+	g, s, a, x0 := setup(t, 5)
+	p, err := NewRoundDownDiffusion(g, s, a, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "round-down(fos)" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	total := x0.Total()
+	for round := 0; round < 200; round++ {
+		p.Step()
+		x := p.Load()
+		if x.Total() != total {
+			t.Fatalf("round %d: load not conserved", round)
+		}
+		if x.HasNegative() {
+			t.Fatalf("round %d: round-down produced negative load", round)
+		}
+	}
+	if p.WentNegative() {
+		t.Error("WentNegative should be false for round-down")
+	}
+	if p.DummiesCreated() != 0 {
+		t.Error("baselines have no dummy source")
+	}
+	if p.Round() != 200 {
+		t.Errorf("Round = %d", p.Round())
+	}
+	// Round-down reduces the point-mass discrepancy substantially.
+	mm, err := load.MaxMinDiscrepancy(p.Load(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm > 100 {
+		t.Errorf("round-down barely balanced: max-min %v", mm)
+	}
+}
+
+func TestDeterministicAccumBoundedError(t *testing.T) {
+	g, s, a, x0 := setup(t, 5)
+	p, err := NewDeterministicAccum(g, s, a, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := x0.Total()
+	for round := 0; round < 300; round++ {
+		p.Step()
+		if p.Load().Total() != total {
+			t.Fatalf("round %d: load not conserved", round)
+		}
+	}
+	// The scheme's defining property: accumulated per-edge error stays
+	// bounded by a constant (1 is the tight bound for this rule).
+	if maxErr := p.MaxAccumError(); maxErr > 1+1e-9 {
+		t.Errorf("max accumulated error %v > 1", maxErr)
+	}
+	if p.Name() != "deterministic-accum(fos)" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestRandomizedRoundingConserves(t *testing.T) {
+	g, s, a, x0 := setup(t, 5)
+	p, err := NewRandomizedRounding(g, s, a, x0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := x0.Total()
+	for round := 0; round < 200; round++ {
+		p.Step()
+		if p.Load().Total() != total {
+			t.Fatalf("round %d: load not conserved", round)
+		}
+	}
+	if p.Name() != "randomized-rounding(fos)" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestExcessTokenNeverNegative(t *testing.T) {
+	g, s, a, x0 := setup(t, 5)
+	p, err := NewExcessToken(g, s, a, x0, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := x0.Total()
+	for round := 0; round < 300; round++ {
+		p.Step()
+		x := p.Load()
+		if x.Total() != total {
+			t.Fatalf("round %d: load not conserved (%d != %d)", round, x.Total(), total)
+		}
+		if x.HasNegative() {
+			t.Fatalf("round %d: excess-token produced negative load", round)
+		}
+	}
+	if p.WentNegative() {
+		t.Error("excess-token should never set WentNegative")
+	}
+	mm, err := load.MaxMinDiscrepancy(p.Load(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm > 50 {
+		t.Errorf("excess-token barely balanced: max-min %v", mm)
+	}
+}
+
+func TestExcessTokenDeterministicPerSeed(t *testing.T) {
+	g, s, a, x0 := setup(t, 4)
+	run := func(seed int64) load.Vector {
+		p, err := NewExcessToken(g, s, a, x0, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 50; round++ {
+			p.Step()
+		}
+		return p.Load()
+	}
+	a1, a2 := run(3), run(3)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same seed must reproduce excess-token run")
+		}
+	}
+}
+
+func TestMatchingBaselines(t *testing.T) {
+	g, err := graph.Hypercube(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := load.UniformSpeeds(g.N())
+	x0, err := workload.PointMass(g.N(), 32*int64(g.N()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	periodic, err := matching.NewPeriodicFromColoring(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random := matching.NewRandom(g, 4)
+	rng := rand.New(rand.NewSource(5))
+
+	builds := map[string]func(matching.Schedule) (interface {
+		Step()
+		Load() load.Vector
+		Name() string
+	}, error){
+		"round-down": func(sc matching.Schedule) (interface {
+			Step()
+			Load() load.Vector
+			Name() string
+		}, error) {
+			return NewRoundDownMatching(g, s, sc, x0)
+		},
+		"randomized": func(sc matching.Schedule) (interface {
+			Step()
+			Load() load.Vector
+			Name() string
+		}, error) {
+			return NewRandomizedMatching(g, s, sc, x0, rng)
+		},
+	}
+	for bname, build := range builds {
+		for sname, sc := range map[string]matching.Schedule{"periodic": periodic, "random": random} {
+			p, err := build(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := x0.Total()
+			for round := 0; round < 400; round++ {
+				p.Step()
+				x := p.Load()
+				if x.Total() != total {
+					t.Fatalf("%s/%s round %d: load not conserved", bname, sname, round)
+				}
+				if x.HasNegative() {
+					t.Fatalf("%s/%s round %d: negative load", bname, sname, round)
+				}
+			}
+			mm, err := load.MaxMinDiscrepancy(p.Load(), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mm > 100 {
+				t.Errorf("%s/%s barely balanced: max-min %v", bname, sname, mm)
+			}
+		}
+	}
+}
+
+func TestMatchingBaselineValidation(t *testing.T) {
+	g := graph.MustNew(2, [][2]int{{0, 1}})
+	s := load.UniformSpeeds(2)
+	sched, err := matching.NewPeriodicFromColoring(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRoundDownMatching(g, s, nil, load.Vector{1, 1}); err == nil {
+		t.Error("nil schedule should error")
+	}
+	if _, err := NewRoundDownMatching(g, s, sched, load.Vector{1}); err == nil {
+		t.Error("short load should error")
+	}
+	if _, err := NewRandomizedMatching(g, s, sched, load.Vector{1, 1}, nil); err == nil {
+		t.Error("nil rng should error")
+	}
+	if _, err := NewRoundDownMatching(g, s, sched, load.Vector{-1, 1}); err == nil {
+		t.Error("negative load should error")
+	}
+}
+
+func TestMatchingEqualizesIntegerPair(t *testing.T) {
+	// Uniform speeds, matched pair (10, 4): z = 3, round-down sends 3.
+	g := graph.MustNew(2, [][2]int{{0, 1}})
+	s := load.UniformSpeeds(2)
+	sched, err := matching.NewPeriodicFromColoring(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewRoundDownMatching(g, s, sched, load.Vector{10, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Step()
+	x := p.Load()
+	if x[0] != 7 || x[1] != 7 {
+		t.Errorf("after exchange: %v, want [7 7]", x)
+	}
+}
+
+// TestBaselinesConservationProperty: every baseline conserves total load on
+// random instances and round-down/excess/matching stay non-negative.
+func TestBaselinesConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := graph.ErdosRenyi(12, 0.3, rng)
+		if err != nil || g.M() == 0 {
+			return err == nil
+		}
+		s := make(load.Speeds, g.N())
+		for i := range s {
+			s[i] = 1 + rng.Int63n(3)
+		}
+		a, err := continuous.DefaultAlphas(g, s)
+		if err != nil {
+			return false
+		}
+		x0 := workload.UniformRandom(g.N(), 400, rng)
+		total := x0.Total()
+		sched := matching.NewRandom(g, seed)
+
+		rd, err := NewRoundDownDiffusion(g, s, a, x0)
+		if err != nil {
+			return false
+		}
+		da, err := NewDeterministicAccum(g, s, a, x0)
+		if err != nil {
+			return false
+		}
+		rr, err := NewRandomizedRounding(g, s, a, x0, rng)
+		if err != nil {
+			return false
+		}
+		ex, err := NewExcessToken(g, s, a, x0, rng)
+		if err != nil {
+			return false
+		}
+		mrd, err := NewRoundDownMatching(g, s, sched, x0)
+		if err != nil {
+			return false
+		}
+		mrr, err := NewRandomizedMatching(g, s, sched, x0, rng)
+		if err != nil {
+			return false
+		}
+		steppers := []interface {
+			Step()
+			Load() load.Vector
+		}{rd, da, rr, ex, mrd, mrr}
+		for round := 0; round < 25; round++ {
+			for _, p := range steppers {
+				p.Step()
+				if p.Load().Total() != total {
+					return false
+				}
+			}
+			if rd.Load().HasNegative() || ex.Load().HasNegative() ||
+				mrd.Load().HasNegative() || mrr.Load().HasNegative() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/matching"
+)
+
+// matchBase carries state shared by the matching-model baselines. Every
+// round the matched pair (u,v) computes the continuous equalizing transfer
+//
+//	z = (s_v·x_u − s_u·x_v)/(s_u+s_v)
+//
+// from the node with the larger makespan, and rounds it. Since z < x_sender,
+// neither rounding variant can create negative load.
+type matchBase struct {
+	g     *graph.Graph
+	s     load.Speeds
+	sched matching.Schedule
+	x     load.Vector
+	t     int
+}
+
+func newMatchBase(g *graph.Graph, s load.Speeds, sched matching.Schedule, x0 load.Vector) (*matchBase, error) {
+	if g == nil {
+		return nil, errors.New("baseline: nil graph")
+	}
+	if sched == nil {
+		return nil, errors.New("baseline: nil matching schedule")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s) != g.N() {
+		return nil, fmt.Errorf("baseline: speeds length %d != n %d", len(s), g.N())
+	}
+	if len(x0) != g.N() {
+		return nil, fmt.Errorf("baseline: load length %d != n %d", len(x0), g.N())
+	}
+	for i, c := range x0 {
+		if c < 0 {
+			return nil, fmt.Errorf("baseline: node %d has negative load %d", i, c)
+		}
+	}
+	return &matchBase{g: g, s: s.Clone(), sched: sched, x: x0.Clone()}, nil
+}
+
+// Graph returns the network.
+func (b *matchBase) Graph() *graph.Graph { return b.g }
+
+// Speeds returns the node speeds.
+func (b *matchBase) Speeds() load.Speeds { return b.s }
+
+// Round returns the index of the next round to execute.
+func (b *matchBase) Round() int { return b.t }
+
+// Load returns a copy of the current load vector.
+func (b *matchBase) Load() load.Vector { return b.x.Clone() }
+
+// DummiesCreated always reports 0.
+func (b *matchBase) DummiesCreated() int64 { return 0 }
+
+// WentNegative always reports false: matching-model rounding cannot
+// overdraw a node.
+func (b *matchBase) WentNegative() bool { return false }
+
+// equalizingFlow returns (sender, receiver, z) for matched edge e, where z
+// is the continuous transfer that equalizes the pair's makespans. z may be
+// zero.
+func (b *matchBase) equalizingFlow(e int) (from, to int, z float64) {
+	u, v := b.g.EdgeEndpoints(e)
+	su, sv := float64(b.s[u]), float64(b.s[v])
+	z = (sv*float64(b.x[u]) - su*float64(b.x[v])) / (su + sv)
+	if z >= 0 {
+		return u, v, z
+	}
+	return v, u, -z
+}
+
+// RoundDownMatching sends floor(z) over every matched edge.
+type RoundDownMatching struct {
+	*matchBase
+}
+
+// NewRoundDownMatching builds the round-down matching-model baseline.
+func NewRoundDownMatching(g *graph.Graph, s load.Speeds, sched matching.Schedule, x0 load.Vector) (*RoundDownMatching, error) {
+	b, err := newMatchBase(g, s, sched, x0)
+	if err != nil {
+		return nil, err
+	}
+	return &RoundDownMatching{matchBase: b}, nil
+}
+
+// Name identifies the scheme.
+func (p *RoundDownMatching) Name() string {
+	return "round-down(matching/" + p.sched.Name() + ")"
+}
+
+// Step executes one synchronous round.
+func (p *RoundDownMatching) Step() {
+	for _, e := range p.sched.MatchingAt(p.t) {
+		from, to, z := p.equalizingFlow(e)
+		amt := int64(z)
+		p.x[from] -= amt
+		p.x[to] += amt
+	}
+	p.t++
+}
+
+// RandomizedMatching is the randomized rounding dimension exchange of
+// Friedrich and Sauerwald: send ceil(z) with probability equal to the
+// fractional part of z, floor(z) otherwise.
+type RandomizedMatching struct {
+	*matchBase
+	rng *rand.Rand
+}
+
+// NewRandomizedMatching builds the randomized-rounding matching baseline.
+func NewRandomizedMatching(g *graph.Graph, s load.Speeds, sched matching.Schedule, x0 load.Vector, rng *rand.Rand) (*RandomizedMatching, error) {
+	b, err := newMatchBase(g, s, sched, x0)
+	if err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, errors.New("baseline: nil rng")
+	}
+	return &RandomizedMatching{matchBase: b, rng: rng}, nil
+}
+
+// Name identifies the scheme.
+func (p *RandomizedMatching) Name() string {
+	return "randomized-rounding(matching/" + p.sched.Name() + ")"
+}
+
+// Step executes one synchronous round.
+func (p *RandomizedMatching) Step() {
+	for _, e := range p.sched.MatchingAt(p.t) {
+		from, to, z := p.equalizingFlow(e)
+		amt := int64(math.Floor(z))
+		if frac := z - math.Floor(z); frac > 0 && p.rng.Float64() < frac {
+			amt++
+		}
+		// Rounding up can at most reach x[from] since z < x[from].
+		p.x[from] -= amt
+		p.x[to] += amt
+	}
+	p.t++
+}

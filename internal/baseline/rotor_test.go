@@ -1,0 +1,80 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/load"
+)
+
+func TestRotorExcessConservesAndStaysNonNegative(t *testing.T) {
+	g, s, a, x0 := setup(t, 5)
+	p, err := NewRotorExcess(g, s, a, x0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "rotor-excess(fos)" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	total := x0.Total()
+	for round := 0; round < 300; round++ {
+		p.Step()
+		x := p.Load()
+		if x.Total() != total {
+			t.Fatalf("round %d: load not conserved", round)
+		}
+		if x.HasNegative() {
+			t.Fatalf("round %d: negative load", round)
+		}
+	}
+	mm, err := load.MaxMinDiscrepancy(p.Load(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm > 50 {
+		t.Errorf("rotor-excess barely balanced: max-min %v", mm)
+	}
+}
+
+func TestRotorExcessIsDeterministicGivenRotors(t *testing.T) {
+	g, s, a, x0 := setup(t, 4)
+	run := func() load.Vector {
+		p, err := NewRotorExcess(g, s, a, x0, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 60; round++ {
+			p.Step()
+		}
+		return p.Load()
+	}
+	r1, r2 := run(), run()
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("same rotor seed must reproduce the run exactly")
+		}
+	}
+}
+
+func TestRotorAdvances(t *testing.T) {
+	g, s, a, x0 := setup(t, 4)
+	p, err := NewRotorExcess(g, s, a, x0, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Rotors()
+	for round := 0; round < 10; round++ {
+		p.Step()
+	}
+	after := p.Rotors()
+	moved := false
+	for i := range before {
+		if before[i] != after[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("rotors should advance when excess tokens are distributed")
+	}
+}

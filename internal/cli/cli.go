@@ -1,0 +1,222 @@
+// Package cli holds the specification parsers shared by the command-line
+// tools: graph specs such as "hypercube:8" or "regular:256:4", continuous
+// drivers ("fos", "sos", "match-periodic", "match-random"), and discrete
+// scheme names. Keeping them out of package main makes them testable.
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/continuous"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/matching"
+	"repro/internal/sim"
+	"repro/internal/spectral"
+)
+
+// ParseGraph builds a graph from a colon-separated spec:
+// hypercube:<dim>, torus:<side>, cycle:<n>, grid:<side>, regular:<n>:<d>,
+// er:<n>, complete:<n>, star:<n>, lollipop:<clique>:<path>.
+func ParseGraph(spec string, seed int64) (*graph.Graph, error) {
+	parts := strings.Split(spec, ":")
+	kind := parts[0]
+	arg := func(i int) (int, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("cli: graph spec %q needs argument %d", spec, i)
+		}
+		v, err := strconv.Atoi(parts[i])
+		if err != nil {
+			return 0, fmt.Errorf("cli: graph spec %q argument %d: %w", spec, i, err)
+		}
+		return v, nil
+	}
+	switch kind {
+	case "hypercube":
+		d, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Hypercube(d)
+	case "torus":
+		side, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Torus(side, side)
+	case "cycle":
+		n, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Cycle(n)
+	case "grid":
+		side, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Grid2D(side, side)
+	case "regular":
+		n, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		d, err := arg(2)
+		if err != nil {
+			return nil, err
+		}
+		return graph.RandomRegular(n, d, rand.New(rand.NewSource(seed)))
+	case "er":
+		n, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		if n < 2 {
+			return nil, fmt.Errorf("cli: er graph needs n >= 2, got %d", n)
+		}
+		return graph.ErdosRenyi(n, 8/float64(n-1), rand.New(rand.NewSource(seed)))
+	case "complete":
+		n, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Complete(n)
+	case "star":
+		n, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Star(n)
+	case "lollipop":
+		clique, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		path, err := arg(2)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Lollipop(clique, path)
+	default:
+		return nil, fmt.Errorf("cli: unknown graph kind %q", kind)
+	}
+}
+
+// BuildFactory returns the continuous factory named by driver, plus the
+// matching schedule when the driver is matching-based (nil otherwise).
+func BuildFactory(driver string, g *graph.Graph, s load.Speeds, seed int64) (continuous.Factory, matching.Schedule, error) {
+	alpha, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch driver {
+	case "fos":
+		return continuous.FOSFactory(g, s, alpha), nil, nil
+	case "sos":
+		lambda, err := continuous.DiffusionLambda(g, s, alpha, 2000, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return nil, nil, err
+		}
+		if lambda > 0.9999999 {
+			lambda = 0.9999999
+		}
+		beta, err := spectral.OptimalSOSBeta(lambda)
+		if err != nil {
+			return nil, nil, err
+		}
+		return continuous.SOSFactory(g, s, alpha, beta), nil, nil
+	case "match-periodic":
+		sched, err := matching.NewPeriodicFromColoring(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		return continuous.MatchingFactory(g, s, sched), sched, nil
+	case "match-random":
+		sched := matching.NewRandom(g, seed)
+		return continuous.MatchingFactory(g, s, sched), sched, nil
+	default:
+		return nil, nil, fmt.Errorf("cli: unknown continuous driver %q", driver)
+	}
+}
+
+// BuildScheme instantiates the named discrete scheme. sched may be nil for
+// diffusion schemes; rng seeds randomized schemes.
+func BuildScheme(name string, g *graph.Graph, s load.Speeds, sched matching.Schedule, factory continuous.Factory, x0 load.Vector, rng *rand.Rand) (sim.Discrete, error) {
+	alpha, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		return nil, err
+	}
+	needSched := func() (matching.Schedule, error) {
+		if sched == nil {
+			return nil, errors.New("cli: matching scheme needs a matching continuous driver")
+		}
+		return sched, nil
+	}
+	switch name {
+	case "alg1":
+		dist, err := load.NewTokens(x0)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFlowImitation(g, s, dist, factory, core.PolicyLIFO)
+	case "alg2":
+		return core.NewRandomizedFlowImitation(g, s, x0, factory, rng)
+	case "round-down":
+		return baseline.NewRoundDownDiffusion(g, s, alpha, x0)
+	case "det-accum":
+		return baseline.NewDeterministicAccum(g, s, alpha, x0)
+	case "rand-round":
+		return baseline.NewRandomizedRounding(g, s, alpha, x0, rng)
+	case "excess":
+		return baseline.NewExcessToken(g, s, alpha, x0, rng)
+	case "rotor":
+		return baseline.NewRotorExcess(g, s, alpha, x0, rng)
+	case "match-round-down":
+		sc, err := needSched()
+		if err != nil {
+			return nil, err
+		}
+		return baseline.NewRoundDownMatching(g, s, sc, x0)
+	case "match-rand-round":
+		sc, err := needSched()
+		if err != nil {
+			return nil, err
+		}
+		return baseline.NewRandomizedMatching(g, s, sc, x0, rng)
+	case "match-alg1":
+		if _, err := needSched(); err != nil {
+			return nil, err
+		}
+		dist, err := load.NewTokens(x0)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFlowImitation(g, s, dist, factory, core.PolicyLIFO)
+	case "match-alg2":
+		if _, err := needSched(); err != nil {
+			return nil, err
+		}
+		return core.NewRandomizedFlowImitation(g, s, x0, factory, rng)
+	default:
+		return nil, fmt.Errorf("cli: unknown scheme %q", name)
+	}
+}
+
+// SchemeNames lists the scheme identifiers BuildScheme accepts.
+func SchemeNames() []string {
+	return []string{
+		"alg1", "alg2", "round-down", "det-accum", "rand-round", "excess", "rotor",
+		"match-round-down", "match-rand-round", "match-alg1", "match-alg2",
+	}
+}
+
+// DriverNames lists the continuous driver identifiers BuildFactory accepts.
+func DriverNames() []string {
+	return []string{"fos", "sos", "match-periodic", "match-random"}
+}

@@ -1,0 +1,124 @@
+package cli
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/load"
+	"repro/internal/workload"
+)
+
+func TestParseGraph(t *testing.T) {
+	tests := []struct {
+		spec    string
+		wantN   int
+		wantErr bool
+	}{
+		{"hypercube:4", 16, false},
+		{"torus:5", 25, false},
+		{"cycle:9", 9, false},
+		{"grid:3", 9, false},
+		{"regular:16:3", 16, false},
+		{"er:30", 30, false},
+		{"complete:6", 6, false},
+		{"star:7", 7, false},
+		{"lollipop:4:3", 7, false},
+		{"hypercube", 0, true},
+		{"hypercube:x", 0, true},
+		{"regular:16", 0, true},
+		{"nope:3", 0, true},
+		{"er:1", 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.spec, func(t *testing.T) {
+			g, err := ParseGraph(tt.spec, 1)
+			if tt.wantErr {
+				if err == nil {
+					t.Errorf("ParseGraph(%q) should error", tt.spec)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseGraph(%q): %v", tt.spec, err)
+			}
+			if g.N() != tt.wantN {
+				t.Errorf("ParseGraph(%q).N() = %d, want %d", tt.spec, g.N(), tt.wantN)
+			}
+		})
+	}
+}
+
+func TestBuildFactoryDrivers(t *testing.T) {
+	g, err := ParseGraph("torus:4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := load.UniformSpeeds(g.N())
+	for _, driver := range DriverNames() {
+		factory, sched, err := BuildFactory(driver, g, s, 1)
+		if err != nil {
+			t.Fatalf("driver %q: %v", driver, err)
+		}
+		if factory == nil {
+			t.Fatalf("driver %q: nil factory", driver)
+		}
+		isMatching := driver == "match-periodic" || driver == "match-random"
+		if isMatching != (sched != nil) {
+			t.Errorf("driver %q: schedule presence = %v", driver, sched != nil)
+		}
+		p, err := factory(make([]float64, g.N()))
+		if err != nil {
+			t.Fatalf("driver %q: factory failed: %v", driver, err)
+		}
+		p.Step()
+	}
+	if _, _, err := BuildFactory("nope", g, s, 1); err == nil {
+		t.Error("unknown driver should error")
+	}
+}
+
+func TestBuildSchemeAllNames(t *testing.T) {
+	g, err := ParseGraph("torus:4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := load.UniformSpeeds(g.N())
+	x0, err := workload.PointMass(g.N(), 160, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range SchemeNames() {
+		driver := "fos"
+		if name == "match-round-down" || name == "match-rand-round" ||
+			name == "match-alg1" || name == "match-alg2" {
+			driver = "match-periodic"
+		}
+		factory, sched, err := BuildFactory(driver, g, s, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := BuildScheme(name, g, s, sched, factory, x0, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatalf("scheme %q: %v", name, err)
+		}
+		for round := 0; round < 5; round++ {
+			p.Step()
+		}
+		if p.Load().Total() != 160+p.DummiesCreated() {
+			t.Errorf("scheme %q: conservation violated", name)
+		}
+	}
+	if _, err := BuildScheme("nope", g, s, nil, nil, x0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("unknown scheme should error")
+	}
+	// Matching schemes without a schedule must error.
+	factory, _, err := BuildFactory("fos", g, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"match-round-down", "match-rand-round", "match-alg1", "match-alg2"} {
+		if _, err := BuildScheme(name, g, s, nil, factory, x0, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("scheme %q without schedule should error", name)
+		}
+	}
+}

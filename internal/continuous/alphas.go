@@ -1,0 +1,91 @@
+package continuous
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/load"
+)
+
+// Alphas holds the symmetric diffusion parameters α_{i,j} = α_{j,i}, one per
+// undirected edge. The paper requires Σ_{j∈N(i)} α_{i,j} < s_i for every
+// node i so that outgoing demand never exceeds load in FOS.
+type Alphas []float64
+
+// DefaultAlphas returns α_e = min(s_u,s_v)/(max(d_u,d_v)+1), the speed-aware
+// generalization of the common uniform choice 1/(max(d_i,d_j)+1). It always
+// satisfies Σ_{j∈N(i)} α_{i,j} <= d_i·s_i/(d_i+1) < s_i.
+func DefaultAlphas(g *graph.Graph, s load.Speeds) (Alphas, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s) != g.N() {
+		return nil, fmt.Errorf("continuous: speeds length %d != n %d", len(s), g.N())
+	}
+	a := make(Alphas, g.M())
+	for e := range a {
+		u, v := g.EdgeEndpoints(e)
+		du, dv := g.Degree(u), g.Degree(v)
+		d := du
+		if dv > d {
+			d = dv
+		}
+		sm := s[u]
+		if s[v] < sm {
+			sm = s[v]
+		}
+		a[e] = float64(sm) / float64(d+1)
+	}
+	return a, nil
+}
+
+// BoillatAlphas returns α_e = min(s_u,s_v)/(2·max(d_u,d_v)), the speed-aware
+// version of the other common choice 1/(2·max(d_i,d_j)). It guarantees a
+// non-negative spectrum of the diffusion matrix on bipartite graphs, at the
+// cost of slightly slower convergence.
+func BoillatAlphas(g *graph.Graph, s load.Speeds) (Alphas, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s) != g.N() {
+		return nil, fmt.Errorf("continuous: speeds length %d != n %d", len(s), g.N())
+	}
+	a := make(Alphas, g.M())
+	for e := range a {
+		u, v := g.EdgeEndpoints(e)
+		du, dv := g.Degree(u), g.Degree(v)
+		d := du
+		if dv > d {
+			d = dv
+		}
+		sm := s[u]
+		if s[v] < sm {
+			sm = s[v]
+		}
+		a[e] = float64(sm) / float64(2*d)
+	}
+	return a, nil
+}
+
+// ValidateAlphas checks positivity and the per-node demand constraint
+// Σ_{e∋i} α_e < s_i.
+func ValidateAlphas(g *graph.Graph, s load.Speeds, a Alphas) error {
+	if len(a) != g.M() {
+		return fmt.Errorf("continuous: alphas length %d != m %d", len(a), g.M())
+	}
+	for e, v := range a {
+		if v <= 0 {
+			return fmt.Errorf("continuous: alpha of edge %d is %v, must be positive", e, v)
+		}
+	}
+	for i := 0; i < g.N(); i++ {
+		sum := 0.0
+		for _, arc := range g.Neighbors(i) {
+			sum += a[arc.Edge]
+		}
+		if sum >= float64(s[i]) {
+			return fmt.Errorf("continuous: node %d has Σα = %v >= s_i = %d", i, sum, s[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package continuous
+
+import (
+	"errors"
+
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/matching"
+)
+
+// MatchingProcess is the dimension-exchange process: in round t load moves
+// only along the edges of the matching supplied by the schedule, and each
+// matched pair equalizes makespans. For matched edge (i,j) the paper's
+// Equation (5) with α_{i,j} = s_i·s_j/(s_i+s_j) gives
+//
+//	y_{i,j}(t) = s_j·x_i(t)/(s_i+s_j),   x_i(t+1) = s_i·(x_i+x_j)/(s_i+s_j).
+//
+// With a Periodic schedule this is the periodic matching model of Hosseini
+// et al.; with a Random schedule it is the random matching model of Ghosh
+// and Muthukrishnan. The process never induces negative load.
+type MatchingProcess struct {
+	g     *graph.Graph
+	s     load.Speeds
+	sched matching.Schedule
+	x     []float64
+	t     int
+	flows *Flows
+}
+
+var _ Process = (*MatchingProcess)(nil)
+
+// NewMatchingProcess builds a dimension-exchange process driven by sched.
+func NewMatchingProcess(g *graph.Graph, s load.Speeds, sched matching.Schedule, x0 []float64) (*MatchingProcess, error) {
+	if sched == nil {
+		return nil, errors.New("continuous: nil matching schedule")
+	}
+	if err := checkInit(g, s, x0); err != nil {
+		return nil, err
+	}
+	return &MatchingProcess{
+		g:     g,
+		s:     s.Clone(),
+		sched: sched,
+		x:     append([]float64(nil), x0...),
+		flows: NewFlows(g),
+	}, nil
+}
+
+// MatchingFactory returns a Factory whose instances share the same schedule,
+// so parallel runs are coupled on identical matching sequences (as required
+// by the additivity definition for randomized schedules).
+func MatchingFactory(g *graph.Graph, s load.Speeds, sched matching.Schedule) Factory {
+	return func(x0 []float64) (Process, error) {
+		return NewMatchingProcess(g, s, sched, x0)
+	}
+}
+
+// Name implements Process.
+func (p *MatchingProcess) Name() string { return "matching/" + p.sched.Name() }
+
+// Graph implements Process.
+func (p *MatchingProcess) Graph() *graph.Graph { return p.g }
+
+// Speeds implements Process.
+func (p *MatchingProcess) Speeds() load.Speeds { return p.s }
+
+// Round implements Process.
+func (p *MatchingProcess) Round() int { return p.t }
+
+// Load implements Process.
+func (p *MatchingProcess) Load() []float64 { return append([]float64(nil), p.x...) }
+
+// Schedule returns the driving matching schedule.
+func (p *MatchingProcess) Schedule() matching.Schedule { return p.sched }
+
+// Step implements Process.
+func (p *MatchingProcess) Step() *Flows {
+	y := p.flows.Y
+	for i := range y {
+		y[i] = 0
+	}
+	m := p.sched.MatchingAt(p.t)
+	for _, e := range m {
+		u, v := p.g.EdgeEndpoints(e)
+		su, sv := float64(p.s[u]), float64(p.s[v])
+		y[2*e] = sv * p.x[u] / (su + sv)
+		y[2*e+1] = su * p.x[v] / (su + sv)
+	}
+	applyFlows(p.g, p.x, y)
+	p.t++
+	return p.flows
+}

@@ -1,0 +1,158 @@
+package continuous
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/spectral"
+)
+
+func TestNewSOSValidation(t *testing.T) {
+	g := graph.MustNew(2, [][2]int{{0, 1}})
+	s := load.UniformSpeeds(2)
+	a, err := DefaultAlphas(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSOS(g, s, a, 0, []float64{1, 1}); err == nil {
+		t.Error("beta = 0 should error")
+	}
+	if _, err := NewSOS(g, s, a, 2.5, []float64{1, 1}); err == nil {
+		t.Error("beta > 2 should error")
+	}
+	p, err := NewSOS(g, s, a, 1.5, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Beta() != 1.5 {
+		t.Errorf("Beta = %v", p.Beta())
+	}
+	if p.Name() != "sos" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestSOSWithBetaOneEqualsFOS(t *testing.T) {
+	g, err := graph.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := load.UniformSpeeds(g.N())
+	a, err := DefaultAlphas(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := pointMass(g.N(), 512)
+	fos, err := NewFOS(g, s, a, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sos, err := NewSOS(g, s, a, 1, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 30; round++ {
+		fos.Step()
+		sos.Step()
+		xf, xs := fos.Load(), sos.Load()
+		for i := range xf {
+			if math.Abs(xf[i]-xs[i]) > 1e-9 {
+				t.Fatalf("round %d node %d: FOS %v != SOS(β=1) %v", round, i, xf[i], xs[i])
+			}
+		}
+	}
+}
+
+func TestSOSConservesLoad(t *testing.T) {
+	g, err := graph.Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := load.UniformSpeeds(g.N())
+	a, err := DefaultAlphas(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewSOS(g, s, a, 1.7, pointMass(g.N(), 999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 60; round++ {
+		p.Step()
+		if got := totalLoad(p.Load()); math.Abs(got-999) > 1e-6 {
+			t.Fatalf("round %d: total %v, want 999", round, got)
+		}
+	}
+}
+
+func TestSOSFasterThanFOSOnCycle(t *testing.T) {
+	const n = 32
+	g, err := graph.Cycle(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := load.UniformSpeeds(n)
+	a, err := DefaultAlphas(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda, err := DiffusionLambda(g, s, a, 4000, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := spectral.OptimalSOSBeta(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := pointMass(n, float64(64*n))
+	fos, err := NewFOS(g, s, a, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tFOS, err := BalancingTime(fos, 500000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sos, err := NewSOS(g, s, a, beta, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tSOS, err := BalancingTime(sos, 500000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tSOS >= tFOS {
+		t.Errorf("SOS (T=%d) should beat FOS (T=%d) on the cycle", tSOS, tFOS)
+	}
+	// The speedup should be substantial (theoretically ~sqrt): demand 2x.
+	if tSOS*2 > tFOS {
+		t.Errorf("SOS speedup too small: T_SOS=%d vs T_FOS=%d", tSOS, tFOS)
+	}
+}
+
+func TestSOSCanInduceNegativeLoad(t *testing.T) {
+	// On a long cycle with β near 2 the momentum term overshoots: the
+	// outgoing demand of a near-empty node exceeds its load. This realizes
+	// the paper's remark that only SOS may induce negative load.
+	const n = 64
+	g, err := graph.Cycle(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := load.UniformSpeeds(n)
+	a, err := DefaultAlphas(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewSOS(g, s, a, 1.95, pointMass(n, float64(64*n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, _ := InducesNegativeLoad(p, 4*n)
+	if !neg {
+		t.Error("SOS with β=1.95 on a cycle point mass should induce negative load")
+	}
+}

@@ -1,0 +1,21 @@
+// Package core implements the paper's primary contribution: the two
+// transformations that turn any additive, terminating continuous
+// neighbourhood load balancing process A into a discrete process D(A) that
+// imitates A's cumulative flow on every edge.
+//
+//   - FlowImitation is Algorithm 1 (deterministic flow imitation). Each
+//     round, over every edge, it forwards whole tasks until the residual
+//     deficit f^A_e(t) − f^D_e(t) falls below wmax, drawing unit-weight
+//     dummy tokens from an "infinite source" when a node's own tasks run
+//     out. Theorem 3 bounds the resulting max-avg discrepancy by
+//     2·d·wmax + 2 at the continuous balancing time.
+//
+//   - RandomizedFlowImitation is Algorithm 2 (randomized flow imitation,
+//     unit tokens): the residual is rounded up with probability equal to
+//     its fractional part and down otherwise. Theorem 8 bounds the max-avg
+//     discrepancy by d/4 + O(sqrt(d·log n)) w.h.p.
+//
+// Both types drive an embedded continuous.Process started from the same
+// initial load vector, which realizes the paper's observation that every
+// node can simulate the continuous process locally to learn f^A_e(t).
+package core

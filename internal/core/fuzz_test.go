@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/continuous"
+	"repro/internal/graph"
+	"repro/internal/load"
+)
+
+// FuzzFlowImitationInvariants drives Algorithm 1 on fuzz-derived small
+// instances and checks the paper's invariants: Observation 4, conservation
+// with dummies, and non-negative task pools.
+func FuzzFlowImitationInvariants(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(50), uint8(3))
+	f.Add(int64(7), uint8(12), uint8(0), uint8(1))
+	f.Add(int64(42), uint8(5), uint8(200), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, loadRaw, wmaxRaw uint8) {
+		n := 3 + int(nRaw)%12
+		wmax := 1 + int64(wmaxRaw)%5
+		rng := rand.New(rand.NewSource(seed))
+		g, err := graph.ErdosRenyi(n, 0.4, rng)
+		if err != nil {
+			t.Skip()
+		}
+		s := make(load.Speeds, n)
+		for i := range s {
+			s[i] = 1 + rng.Int63n(3)
+		}
+		dist := make(load.TaskDist, n)
+		var total int64
+		for k := 0; k < int(loadRaw); k++ {
+			i := rng.Intn(n)
+			w := 1 + rng.Int63n(wmax)
+			dist[i] = append(dist[i], load.Task{Weight: w})
+			total += w
+		}
+		alpha, err := continuous.DefaultAlphas(g, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fi, err := NewFlowImitation(g, s, dist, continuous.FOSFactory(g, s, alpha), PolicyLIFO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wmaxActual := float64(fi.Wmax())
+		for round := 0; round < 25; round++ {
+			fi.Step()
+			for e := 0; e < g.M(); e++ {
+				if math.Abs(fi.FlowError(e)) >= wmaxActual+1e-6 {
+					t.Fatalf("round %d edge %d: |e| = %v >= wmax %v",
+						round, e, math.Abs(fi.FlowError(e)), wmaxActual)
+				}
+			}
+			if fi.Load().Total() != total+fi.DummiesCreated() {
+				t.Fatalf("round %d: conservation violated", round)
+			}
+			for i, v := range fi.Load() {
+				if v < 0 {
+					t.Fatalf("round %d: node %d negative (%d)", round, i, v)
+				}
+			}
+		}
+	})
+}

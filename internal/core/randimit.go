@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/continuous"
+	"repro/internal/graph"
+	"repro/internal/load"
+)
+
+// RandomizedFlowImitation is Algorithm 2: the randomized discretization of a
+// continuous process for identical (unit-weight) tokens. Each round, for
+// every edge whose residual Ŷ_e(t) = f^A_e(t) − F^D_e(t−1) is positive in
+// some direction, the sender forwards floor(Ŷ) tokens plus one more with
+// probability equal to the fractional part {Ŷ}, drawing from the infinite
+// source if it runs short.
+type RandomizedFlowImitation struct {
+	g    *graph.Graph
+	s    load.Speeds
+	cont continuous.Process
+	rng  *rand.Rand
+
+	tokens load.Vector
+	fA     []float64
+	fD     []int64
+
+	// Scratch buffers reused across rounds.
+	avail []int64
+	delta []int64
+
+	dummies int64
+	t       int
+}
+
+// NewRandomizedFlowImitation builds Algorithm 2 on graph g with speeds s,
+// initial token counts x0, the continuous process produced by factory from
+// the matching load vector, and the given deterministic randomness source.
+func NewRandomizedFlowImitation(g *graph.Graph, s load.Speeds, x0 load.Vector, factory continuous.Factory, rng *rand.Rand) (*RandomizedFlowImitation, error) {
+	if g == nil {
+		return nil, errors.New("core: nil graph")
+	}
+	if rng == nil {
+		return nil, errors.New("core: nil rng")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s) != g.N() {
+		return nil, fmt.Errorf("core: speeds length %d != n %d", len(s), g.N())
+	}
+	if len(x0) != g.N() {
+		return nil, fmt.Errorf("core: token vector length %d != n %d", len(x0), g.N())
+	}
+	for i, c := range x0 {
+		if c < 0 {
+			return nil, fmt.Errorf("core: node %d has negative token count %d", i, c)
+		}
+	}
+	cont, err := factory(x0.Float())
+	if err != nil {
+		return nil, fmt.Errorf("core: build continuous process: %w", err)
+	}
+	return &RandomizedFlowImitation{
+		g:      g,
+		s:      s.Clone(),
+		cont:   cont,
+		rng:    rng,
+		tokens: x0.Clone(),
+		fA:     make([]float64, g.M()),
+		fD:     make([]int64, g.M()),
+		avail:  make([]int64, g.N()),
+		delta:  make([]int64, g.N()),
+	}, nil
+}
+
+// Name identifies the process, e.g. "alg2(fos)".
+func (ri *RandomizedFlowImitation) Name() string { return "alg2(" + ri.cont.Name() + ")" }
+
+// Graph returns the network.
+func (ri *RandomizedFlowImitation) Graph() *graph.Graph { return ri.g }
+
+// Speeds returns the node speeds.
+func (ri *RandomizedFlowImitation) Speeds() load.Speeds { return ri.s }
+
+// Round returns the index of the next round to execute.
+func (ri *RandomizedFlowImitation) Round() int { return ri.t }
+
+// Continuous exposes the embedded continuous process.
+func (ri *RandomizedFlowImitation) Continuous() continuous.Process { return ri.cont }
+
+// DummiesCreated returns the number of tokens drawn from the infinite
+// source. Theorem 8(2)'s initial-load condition keeps this at zero w.h.p.
+func (ri *RandomizedFlowImitation) DummiesCreated() int64 { return ri.dummies }
+
+// WentNegative always reports false: the infinite source prevents negative
+// load by construction.
+func (ri *RandomizedFlowImitation) WentNegative() bool { return false }
+
+// Load returns the per-node token counts (dummy tokens included — once
+// created they are indistinguishable from real ones, as in the paper).
+func (ri *RandomizedFlowImitation) Load() load.Vector { return ri.tokens.Clone() }
+
+// FlowError returns E_e(t) = f^A_e(t) − F^D_e(t). Observation 9(3) shows it
+// always lies in ({Ŷ}−1, {Ŷ}] ⊂ (−1, 1).
+func (ri *RandomizedFlowImitation) FlowError(e int) float64 { return ri.fA[e] - float64(ri.fD[e]) }
+
+// Step executes one synchronous round of D(A) under randomized rounding.
+func (ri *RandomizedFlowImitation) Step() {
+	fl := ri.cont.Step()
+	for e := range ri.fA {
+		ri.fA[e] += fl.Net(e)
+	}
+	for i := range ri.avail {
+		ri.avail[i] = ri.tokens[i]
+		ri.delta[i] = 0
+	}
+	for e := 0; e < ri.g.M(); e++ {
+		gap := ri.fA[e] - float64(ri.fD[e])
+		u, v := ri.g.EdgeEndpoints(e)
+		sender, recv, sign := u, v, int64(1)
+		if gap < 0 {
+			sender, recv, sign = v, u, -1
+			gap = -gap
+		}
+		if gap <= 0 {
+			continue
+		}
+		whole := math.Floor(gap + roundingEps)
+		frac := gap - whole
+		if frac < 0 {
+			frac = 0
+		}
+		amount := int64(whole)
+		if frac > 0 && ri.rng.Float64() < frac {
+			amount++
+		}
+		if amount == 0 {
+			continue
+		}
+		if short := amount - ri.avail[sender]; short > 0 {
+			// The infinite source materializes the missing tokens at the
+			// sender just before they leave.
+			ri.dummies += short
+			ri.delta[sender] += short
+			ri.avail[sender] = 0
+		} else {
+			ri.avail[sender] -= amount
+		}
+		ri.delta[sender] -= amount
+		ri.delta[recv] += amount
+		ri.fD[e] += sign * amount
+	}
+	for i := range ri.tokens {
+		ri.tokens[i] += ri.delta[i]
+	}
+	ri.t++
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"repro/internal/continuous"
+	"repro/internal/load"
+)
+
+// ErrNotSnapshottable is returned when the embedded continuous process does
+// not implement continuous.Snapshotter.
+var ErrNotSnapshottable = errors.New("core: embedded continuous process does not support snapshots")
+
+// flowImitationState is the gob shape of a FlowImitation checkpoint.
+type flowImitationState struct {
+	Tasks   load.TaskDist
+	FA      []float64
+	FD      []int64
+	Dummies int64
+	Round   int
+	Wmax    int64
+	Policy  TaskPolicy
+	Cont    []byte
+}
+
+// Snapshot captures the full dynamic state of Algorithm 1, including its
+// embedded continuous replica, so a long run can be checkpointed and resumed
+// later on an identically configured instance (same graph, speeds, factory
+// parameters).
+func (fi *FlowImitation) Snapshot() ([]byte, error) {
+	snap, ok := fi.cont.(continuous.Snapshotter)
+	if !ok {
+		return nil, ErrNotSnapshottable
+	}
+	contState, err := snap.SnapshotState()
+	if err != nil {
+		return nil, err
+	}
+	st := flowImitationState{
+		Tasks:   fi.tasks.Clone(),
+		FA:      append([]float64(nil), fi.fA...),
+		FD:      append([]int64(nil), fi.fD...),
+		Dummies: fi.dummies,
+		Round:   fi.t,
+		Wmax:    fi.wmax,
+		Policy:  fi.policy,
+		Cont:    contState,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("core: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore replaces the dynamic state with a snapshot previously produced by
+// Snapshot on an identically configured FlowImitation.
+func (fi *FlowImitation) Restore(data []byte) error {
+	snap, ok := fi.cont.(continuous.Snapshotter)
+	if !ok {
+		return ErrNotSnapshottable
+	}
+	var st flowImitationState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	if len(st.Tasks) != fi.g.N() || len(st.FA) != fi.g.M() || len(st.FD) != fi.g.M() {
+		return fmt.Errorf("core: snapshot shape (%d,%d,%d) does not match graph (%d,%d)",
+			len(st.Tasks), len(st.FA), len(st.FD), fi.g.N(), fi.g.M())
+	}
+	if err := snap.RestoreState(st.Cont); err != nil {
+		return err
+	}
+	fi.tasks = st.Tasks.Clone()
+	copy(fi.fA, st.FA)
+	copy(fi.fD, st.FD)
+	fi.dummies = st.Dummies
+	fi.t = st.Round
+	fi.wmax = st.Wmax
+	fi.policy = st.Policy
+	return nil
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/continuous"
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/matching"
+	"repro/internal/workload"
+)
+
+// TestSnapshotRestoreResumesExactly: checkpoint mid-run, restore into a
+// fresh instance, continue — final state must equal the uninterrupted run,
+// for every snapshottable driver.
+func TestSnapshotRestoreResumesExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := graph.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := workload.RandomSpeeds(g.N(), 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := workload.RandomWeightedTasks(g.N(), 300, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factories := map[string]continuous.Factory{
+		"fos":          continuous.FOSFactory(g, s, alpha),
+		"sos":          continuous.SOSFactory(g, s, alpha, 1.5),
+		"match-random": continuous.MatchingFactory(g, s, matching.NewRandom(g, 3)),
+	}
+	const (
+		half  = 40
+		total = 90
+	)
+	for name, factory := range factories {
+		// Uninterrupted reference run.
+		ref, err := NewFlowImitation(g, s, dist, factory, PolicyLIFO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < total; round++ {
+			ref.Step()
+		}
+
+		// Checkpointed run.
+		first, err := NewFlowImitation(g, s, dist, factory, PolicyLIFO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < half; round++ {
+			first.Step()
+		}
+		blob, err := first.Snapshot()
+		if err != nil {
+			t.Fatalf("%s: snapshot: %v", name, err)
+		}
+		resumed, err := NewFlowImitation(g, s, dist, factory, PolicyLIFO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resumed.Restore(blob); err != nil {
+			t.Fatalf("%s: restore: %v", name, err)
+		}
+		if resumed.Round() != half {
+			t.Fatalf("%s: restored round = %d, want %d", name, resumed.Round(), half)
+		}
+		for round := half; round < total; round++ {
+			resumed.Step()
+		}
+
+		refLoad, gotLoad := ref.Load(), resumed.Load()
+		for i := range refLoad {
+			if refLoad[i] != gotLoad[i] {
+				t.Fatalf("%s: node %d: resumed %d != reference %d", name, i, gotLoad[i], refLoad[i])
+			}
+		}
+		if ref.DummiesCreated() != resumed.DummiesCreated() {
+			t.Errorf("%s: dummies %d != %d", name, resumed.DummiesCreated(), ref.DummiesCreated())
+		}
+		for e := 0; e < g.M(); e++ {
+			if ref.FlowError(e) != resumed.FlowError(e) {
+				t.Fatalf("%s: edge %d flow error mismatch", name, e)
+			}
+		}
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	g := graph.MustNew(2, [][2]int{{0, 1}})
+	s := load.UniformSpeeds(2)
+	dist := mustTokens(t, load.Vector{4, 0})
+	fi, err := NewFlowImitation(g, s, dist, fosFactory(t, g, s), PolicyLIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fi.Restore([]byte("garbage")); err == nil {
+		t.Error("garbage snapshot should error")
+	}
+	// Snapshot from a different graph shape must be rejected.
+	g3 := graph.MustNew(3, [][2]int{{0, 1}, {1, 2}})
+	s3 := load.UniformSpeeds(3)
+	alpha3, err := continuous.DefaultAlphas(g3, s3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi3, err := NewFlowImitation(g3, s3, mustTokens(t, load.Vector{4, 0, 0}),
+		continuous.FOSFactory(g3, s3, alpha3), PolicyLIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := fi3.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fi.Restore(blob); err == nil {
+		t.Error("snapshot from a different graph should be rejected")
+	}
+}
+
+func TestContinuousSnapshotRoundTrip(t *testing.T) {
+	g, err := graph.Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := load.UniformSpeeds(g.N())
+	alpha, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := make([]float64, g.N())
+	x0[0] = 256
+	builders := map[string]func() (continuous.Process, error){
+		"fos": func() (continuous.Process, error) { return continuous.NewFOS(g, s, alpha, x0) },
+		"sos": func() (continuous.Process, error) { return continuous.NewSOS(g, s, alpha, 1.5, x0) },
+	}
+	for name, build := range builders {
+		ref, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 10; round++ {
+			ref.Step()
+		}
+		blob, err := ref.(continuous.Snapshotter).SnapshotState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.(continuous.Snapshotter).RestoreState(blob); err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 10; round++ {
+			ref.Step()
+			fresh.Step()
+		}
+		a, b := ref.Load(), fresh.Load()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: restored run diverged at node %d", name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/continuous"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// PotentialDrop traces the quadratic potential Φ(t) of the continuous FOS,
+// Algorithm 1 and round-down on a hypercube from the point-mass start. The
+// continuous series must contract by at least λ² per round (Muthukrishnan
+// et al.); the discrete series track it until the rounding floor.
+func PotentialDrop(cfg Config, rounds int) ([]ScalePoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g, err := BuildClass(ClassHypercube, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := load.UniformSpeeds(g.N())
+	alpha, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		return nil, err
+	}
+	x0, err := workload.PointMass(g.N(), cfg.TokensPerNode*int64(g.N()), 0)
+	if err != nil {
+		return nil, err
+	}
+	cont, err := continuous.NewFOS(g, s, alpha, x0.Float())
+	if err != nil {
+		return nil, err
+	}
+	dist, err := load.NewTokens(x0)
+	if err != nil {
+		return nil, err
+	}
+	alg1, err := core.NewFlowImitation(g, s, dist, continuous.FOSFactory(g, s, alpha), core.PolicyLIFO)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := baseline.NewRoundDownDiffusion(g, s, alpha, x0)
+	if err != nil {
+		return nil, err
+	}
+	var points []ScalePoint
+	w := x0.Total()
+	for t := 0; t <= rounds; t++ {
+		phiC, err := load.PotentialFloat(cont.Load(), s)
+		if err != nil {
+			return nil, err
+		}
+		phiA, err := load.Potential(alg1.Load(), s, w)
+		if err != nil {
+			return nil, err
+		}
+		phiR, err := load.Potential(rd.Load(), s, w)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points,
+			ScalePoint{Series: "phi-continuous-fos", X: float64(t), Value: phiC},
+			ScalePoint{Series: "phi-alg1", X: float64(t), Value: phiA},
+			ScalePoint{Series: "phi-round-down", X: float64(t), Value: phiR},
+		)
+		cont.Step()
+		alg1.Step()
+		rd.Step()
+	}
+	return points, nil
+}
+
+// AlphaAblation compares the two standard diffusion-parameter choices —
+// α = 1/(max(d_i,d_j)+1) versus Boillat's α = 1/(2·max(d_i,d_j)) — on the
+// balancing time T and Algorithm 1's final discrepancy. Value = final
+// max-avg discrepancy, Extra = T.
+func AlphaAblation(cfg Config) ([]ScalePoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g, err := BuildClass(ClassTorus, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := load.UniformSpeeds(g.N())
+	x0, err := workload.PointMass(g.N(), cfg.TokensPerNode*int64(g.N()), 0)
+	if err != nil {
+		return nil, err
+	}
+	choices := []struct {
+		name  string
+		build func(*graph.Graph, load.Speeds) (continuous.Alphas, error)
+	}{
+		{"default(1/(d+1))", continuous.DefaultAlphas},
+		{"boillat(1/2d)", continuous.BoillatAlphas},
+	}
+	var points []ScalePoint
+	for idx, choice := range choices {
+		alpha, err := choice.build(g, s)
+		if err != nil {
+			return nil, err
+		}
+		factory := continuous.FOSFactory(g, s, alpha)
+		bt, err := sim.TimeToBalance(factory, x0.Float(), cfg.MaxRounds)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", choice.name, err)
+		}
+		dist, err := load.NewTokens(x0)
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.NewFlowImitation(g, s, dist, factory, core.PolicyLIFO)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(p, sim.Options{Rounds: bt, RealTotal: x0.Total()})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, ScalePoint{
+			Series: "alpha-" + choice.name,
+			X:      float64(idx),
+			Value:  res.MaxAvg,
+			Bound:  float64(2*g.MaxDegree() + 2),
+			Extra:  float64(bt),
+		})
+	}
+	return points, nil
+}
+
+// PolicyAblation compares Algorithm 1's task-selection policies on a
+// weighted-task workload: Value = final max-avg discrepancy, Extra = number
+// of dummy tokens. The Theorem 3 bound holds for every policy.
+func PolicyAblation(cfg Config) ([]ScalePoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g, err := BuildClass(ClassTorus, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s, err := workload.RandomSpeeds(g.N(), 3, rng)
+	if err != nil {
+		return nil, err
+	}
+	alpha, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := workload.PointMassWeightedTasks(g.N(), int(cfg.TokensPerNode)*g.N()/4, 0, 8, rng)
+	if err != nil {
+		return nil, err
+	}
+	x0 := dist.Loads()
+	factory := continuous.FOSFactory(g, s, alpha)
+	bt, err := sim.TimeToBalance(factory, x0.Float(), cfg.MaxRounds)
+	if err != nil {
+		return nil, err
+	}
+	var points []ScalePoint
+	for idx, policy := range []core.TaskPolicy{core.PolicyLIFO, core.PolicyFIFO, core.PolicyLargestFirst} {
+		p, err := core.NewFlowImitation(g, s, dist, factory, policy)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(p, sim.Options{Rounds: bt, RealTotal: x0.Total()})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, ScalePoint{
+			Series: "policy-" + policy.String(),
+			X:      float64(idx),
+			Value:  res.MaxAvg,
+			Bound:  float64(2*int64(g.MaxDegree())*dist.MaxWeight() + 2),
+			Extra:  float64(res.Dummies),
+		})
+	}
+	return points, nil
+}
+
+// BetaSweep measures the SOS balancing time across β values on a cycle
+// (where the optimum is near 2) and whether each β induces negative load.
+// Value = T, Extra = 1 if Definition 1 was violated.
+func BetaSweep(betas []float64, cfg Config) ([]ScalePoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g, err := graph.Cycle(cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	s := load.UniformSpeeds(g.N())
+	alpha, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		return nil, err
+	}
+	x0, err := workload.PointMass(g.N(), cfg.TokensPerNode*int64(g.N()), 0)
+	if err != nil {
+		return nil, err
+	}
+	var points []ScalePoint
+	for _, beta := range betas {
+		factory := continuous.SOSFactory(g, s, alpha, beta)
+		bt, err := sim.TimeToBalance(factory, x0.Float(), cfg.MaxRounds)
+		if err != nil {
+			return nil, fmt.Errorf("beta %v: %w", beta, err)
+		}
+		probe, err := factory(x0.Float())
+		if err != nil {
+			return nil, err
+		}
+		neg, _ := continuous.InducesNegativeLoad(probe, bt)
+		negVal := 0.0
+		if neg {
+			negVal = 1
+		}
+		points = append(points, ScalePoint{
+			Series: "sos-T-vs-beta(cycle)",
+			X:      beta,
+			Value:  float64(bt),
+			Extra:  negVal,
+		})
+	}
+	return points, nil
+}
+
+// ExcessVsRotor compares the randomized excess-token diffusion [9] with its
+// deterministic rotor (round-robin) derandomization [5] on final max-min
+// discrepancy, worst over cfg.Trials seeds.
+func ExcessVsRotor(cfg Config) ([]ScalePoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g, err := BuildClass(ClassTorus, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := load.UniformSpeeds(g.N())
+	alpha, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		return nil, err
+	}
+	x0, err := workload.PointMass(g.N(), cfg.TokensPerNode*int64(g.N()), 0)
+	if err != nil {
+		return nil, err
+	}
+	bt, err := sim.TimeToBalance(continuous.FOSFactory(g, s, alpha), x0.Float(), cfg.MaxRounds)
+	if err != nil {
+		return nil, err
+	}
+	type builder func(seed int64) (sim.Discrete, error)
+	schemes := map[string]builder{
+		"excess-token": func(seed int64) (sim.Discrete, error) {
+			return baseline.NewExcessToken(g, s, alpha, x0, rand.New(rand.NewSource(seed)))
+		},
+		"rotor-excess": func(seed int64) (sim.Discrete, error) {
+			return baseline.NewRotorExcess(g, s, alpha, x0, rand.New(rand.NewSource(seed)))
+		},
+	}
+	var points []ScalePoint
+	for name, build := range schemes {
+		worst := 0.0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			p, err := build(cfg.Seed + int64(97*trial))
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(p, sim.Options{Rounds: bt, RealTotal: x0.Total()})
+			if err != nil {
+				return nil, err
+			}
+			if res.MaxMin > worst {
+				worst = res.MaxMin
+			}
+		}
+		points = append(points, ScalePoint{Series: "maxmin-" + name, X: 0, Value: worst})
+	}
+	return points, nil
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPotentialDropTracksContinuous(t *testing.T) {
+	cfg := quickCfg()
+	points, err := PotentialDrop(cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string][]float64{}
+	for _, p := range points {
+		series[p.Series] = append(series[p.Series], p.Value)
+	}
+	cont := series["phi-continuous-fos"]
+	if len(cont) != 21 {
+		t.Fatalf("continuous series has %d points", len(cont))
+	}
+	// Continuous potential is strictly decreasing from a point mass until
+	// numerically tiny.
+	for i := 1; i < len(cont); i++ {
+		if cont[i] > cont[i-1]+1e-9 && cont[i-1] > 1e-6 {
+			t.Errorf("round %d: continuous Φ rose from %v to %v", i, cont[i-1], cont[i])
+		}
+	}
+	// Algorithm 1's potential stays within an additive O((d·wmax)²·n)
+	// envelope of the continuous one (by Lemma 6's per-node bound).
+	alg1 := series["phi-alg1"]
+	g, err := BuildClass(ClassHypercube, cfg.N, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw := float64(g.MaxDegree())
+	envelope := float64(g.N()) * dw * dw
+	for i := range alg1 {
+		// (a+b)² <= 2a²+2b² => Φ_D <= 2Φ_C + 2n(d·wmax)².
+		if alg1[i] > 2*cont[i]+2*envelope {
+			t.Errorf("round %d: Φ_alg1 = %v far above continuous %v", i, alg1[i], cont[i])
+		}
+	}
+}
+
+func TestAlphaAblation(t *testing.T) {
+	cfg := quickCfg()
+	points, err := AlphaAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	var tDefault, tBoillat float64
+	for _, p := range points {
+		if p.Value > p.Bound {
+			t.Errorf("%s: discrepancy %v > bound %v", p.Series, p.Value, p.Bound)
+		}
+		switch p.Series {
+		case "alpha-default(1/(d+1))":
+			tDefault = p.Extra
+		case "alpha-boillat(1/2d)":
+			tBoillat = p.Extra
+		}
+	}
+	// Boillat's halved rates diffuse more slowly.
+	if tBoillat < tDefault {
+		t.Errorf("expected Boillat T (%v) >= default T (%v)", tBoillat, tDefault)
+	}
+}
+
+func TestPolicyAblation(t *testing.T) {
+	cfg := quickCfg()
+	points, err := PolicyAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.Value > p.Bound {
+			t.Errorf("%s: discrepancy %v > Theorem 3 bound %v (bound must hold for every policy)",
+				p.Series, p.Value, p.Bound)
+		}
+	}
+}
+
+func TestBetaSweep(t *testing.T) {
+	cfg := quickCfg()
+	points, err := BetaSweep([]float64{1.0, 1.5, 1.8}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// T must improve as beta approaches the cycle optimum (close to 2).
+	if !(points[2].Value < points[0].Value) {
+		t.Errorf("T(β=1.8)=%v should beat T(β=1)=%v on a cycle", points[2].Value, points[0].Value)
+	}
+	if points[0].Extra != 0 {
+		t.Error("β=1 is FOS and must not induce negative load")
+	}
+}
+
+func TestExcessVsRotor(t *testing.T) {
+	cfg := quickCfg()
+	points, err := ExcessVsRotor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if math.IsNaN(p.Value) || p.Value < 0 || p.Value > 100 {
+			t.Errorf("%s: implausible max-min %v", p.Series, p.Value)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func quickCfg() Config {
+	cfg := QuickConfig()
+	cfg.Trials = 2
+	return cfg
+}
+
+func TestBuildClass(t *testing.T) {
+	for _, class := range Table1Classes() {
+		g, err := BuildClass(class, 64, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", class, err)
+		}
+		if !g.IsConnected() {
+			t.Errorf("%v: not connected", class)
+		}
+		if g.N() < 32 || g.N() > 70 {
+			t.Errorf("%v: n = %d far from target 64", class, g.N())
+		}
+	}
+	if _, err := BuildClass(GraphClass(99), 64, 1); err == nil {
+		t.Error("unknown class should error")
+	}
+	hc, err := BuildClass(ClassHypercube, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.N() != 64 {
+		t.Errorf("hypercube rounding: n = %d, want 64", hc.N())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	for _, bad := range []Config{
+		{N: 1, TokensPerNode: 1, Trials: 1, MaxRounds: 1},
+		{N: 8, TokensPerNode: 0, Trials: 1, MaxRounds: 1},
+		{N: 8, TokensPerNode: 1, Trials: 0, MaxRounds: 1},
+		{N: 8, TokensPerNode: 1, Trials: 1, MaxRounds: 0},
+	} {
+		if err := bad.validate(); err == nil {
+			t.Errorf("config %+v should be invalid", bad)
+		}
+	}
+}
+
+func TestSchemeKindStrings(t *testing.T) {
+	for _, k := range append(DiffusionSchemes(), MatchingSchemes()...) {
+		if strings.HasPrefix(k.String(), "SchemeKind(") {
+			t.Errorf("scheme %d has no name", int(k))
+		}
+	}
+	if !SchemeAlg2.Randomized() || SchemeAlg1.Randomized() {
+		t.Error("Randomized flags wrong")
+	}
+}
+
+func TestTable1ShapeAndBounds(t *testing.T) {
+	cfg := quickCfg()
+	rows, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(Table1Classes()) * len(DiffusionSchemes())
+	if len(rows) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(rows), wantRows)
+	}
+	for _, r := range rows {
+		if math.IsNaN(r.MaxMin) || r.MaxMin < 0 {
+			t.Errorf("%v/%s: bad max-min %v", r.Class, r.Scheme, r.MaxMin)
+		}
+		if r.T <= 0 {
+			t.Errorf("%v: T = %d", r.Class, r.T)
+		}
+		// Headline claim: Algorithm 1's max-avg discrepancy obeys
+		// Theorem 3 on every class.
+		if r.Scheme == SchemeAlg1.String() {
+			bound := float64(2*r.MaxDeg + 2)
+			if r.MaxAvg > bound {
+				t.Errorf("%v: Alg 1 max-avg %v > bound %v", r.Class, r.MaxAvg, bound)
+			}
+		}
+	}
+	out := FormatTable1(rows)
+	for _, class := range Table1Classes() {
+		if !strings.Contains(out, class.String()) {
+			t.Errorf("formatted table missing class %v", class)
+		}
+	}
+	if !strings.Contains(out, "Alg 1") || !strings.Contains(out, "round-down") {
+		t.Error("formatted table missing schemes")
+	}
+}
+
+func TestTable2ShapeAndBounds(t *testing.T) {
+	cfg := quickCfg()
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(Table1Classes()) * 2 * len(MatchingSchemes())
+	if len(rows) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(rows), wantRows)
+	}
+	for _, r := range rows {
+		if math.IsNaN(r.MaxMin) || r.MaxMin < 0 {
+			t.Errorf("%v/%v/%s: bad max-min %v", r.Class, r.Model, r.Scheme, r.MaxMin)
+		}
+		if r.Neg {
+			t.Errorf("%v/%v/%s: matching schemes cannot go negative", r.Class, r.Model, r.Scheme)
+		}
+		if r.Scheme == SchemeMatchAlg1.String() {
+			bound := float64(2*r.MaxDeg + 2)
+			if r.MaxAvg > bound {
+				t.Errorf("%v/%v: Alg 1 max-avg %v > bound %v", r.Class, r.Model, r.MaxAvg, bound)
+			}
+		}
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "periodic") || !strings.Contains(out, "random") {
+		t.Error("formatted table missing models")
+	}
+}
+
+func TestTheorem3ScalingDWithinBounds(t *testing.T) {
+	cfg := quickCfg()
+	points, err := Theorem3ScalingD([]int{3, 4}, []int{24, 48}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range points {
+		if p.Series == "alg1-vs-d(hypercube)" || p.Series == "alg1-vs-n(4-regular)" {
+			if p.Value > p.Bound {
+				t.Errorf("%s x=%v: value %v > bound %v", p.Series, p.X, p.Value, p.Bound)
+			}
+		}
+	}
+	out := FormatScalePoints("F1", points)
+	if !strings.Contains(out, "alg1-vs-d(hypercube)") {
+		t.Error("format missing series")
+	}
+}
+
+func TestTheorem3ScalingWmaxWithinBounds(t *testing.T) {
+	cfg := quickCfg()
+	points, err := Theorem3ScalingWmax([]int64{1, 4}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Value > p.Bound {
+			t.Errorf("wmax=%v: value %v > bound %v", p.X, p.Value, p.Bound)
+		}
+	}
+}
+
+func TestTheorem8ScalingSane(t *testing.T) {
+	cfg := quickCfg()
+	points, err := Theorem8Scaling([]int{3, 5}, []int{24}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		// Generous factor 3 on the w.h.p. bound.
+		if p.Value > 3*p.Bound {
+			t.Errorf("%s x=%v: value %v >> bound %v", p.Series, p.X, p.Value, p.Bound)
+		}
+	}
+}
+
+func TestConvergenceTimes(t *testing.T) {
+	cfg := quickCfg()
+	g1, err := graph.Cycle(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := graph.Hypercube(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := ConvergenceTimes(map[string]*graph.Graph{"cycle": g1, "hyper": g2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.Lambda <= 0 || p.Lambda >= 1 {
+			t.Errorf("%s: λ = %v", p.Graph, p.Lambda)
+		}
+		if p.TFOS <= 0 || p.TSOS <= 0 || p.TMatch <= 0 {
+			t.Errorf("%s: non-positive T", p.Graph)
+		}
+		if p.Graph == "cycle" && p.TSOS >= p.TFOS {
+			t.Errorf("cycle: SOS (%d) should beat FOS (%d)", p.TSOS, p.TFOS)
+		}
+	}
+	out := FormatConvergence(points)
+	if !strings.Contains(out, "cycle") || !strings.Contains(out, "beta") {
+		t.Error("format missing fields")
+	}
+}
+
+func TestDummyTokenSweepZeroAtFloor(t *testing.T) {
+	cfg := quickCfg()
+	d := int64(4) // torus degree
+	points, err := DummyTokenSweep([]int64{0, d}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Series == "dummies-"+SchemeAlg1.String() && p.X >= float64(d) && p.Value != 0 {
+			t.Errorf("Alg 1 with ℓ=%v created %v dummies; Lemma 7 says zero", p.X, p.Value)
+		}
+	}
+}
+
+func TestSOSNegativeLoadCheck(t *testing.T) {
+	cfg := quickCfg()
+	points, err := SOSNegativeLoadCheck(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, p := range points {
+		got[p.Series] = p.Value
+	}
+	if got["negload-fos"] != 0 {
+		t.Error("FOS must not induce negative load")
+	}
+	if got["negload-matching"] != 0 {
+		t.Error("matching must not induce negative load")
+	}
+	if got["negload-sos"] != 1 {
+		t.Error("SOS at β* on a cycle point mass should induce negative load")
+	}
+}
+
+func TestAccumErrorCheck(t *testing.T) {
+	cfg := quickCfg()
+	maxErr, err := AccumErrorCheck(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxErr > 1+1e-9 {
+		t.Errorf("accumulated error %v > 1", maxErr)
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormatTable1 renders Table 1 rows in the paper's layout: one block per
+// graph class, one line per scheme.
+func FormatTable1(rows []Row) string {
+	return FormatRows("Table 1 — final max-min discrepancy at T (diffusion model)", rows)
+}
+
+// FormatRows renders Row groups under an arbitrary title (used by Table 1
+// and the extension Table 3).
+func FormatRows(title string, rows []Row) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	byClass := map[GraphClass][]Row{}
+	var order []GraphClass
+	for _, r := range rows {
+		if _, ok := byClass[r.Class]; !ok {
+			order = append(order, r.Class)
+		}
+		byClass[r.Class] = append(byClass[r.Class], r)
+	}
+	for _, class := range order {
+		group := byClass[class]
+		first := group[0]
+		fmt.Fprintf(&b, "\n%s  (n=%d, d=%d, T=%d)\n", class, first.N, first.MaxDeg, first.T)
+		fmt.Fprintf(&b, "  %-30s %10s %10s %10s %8s %5s\n",
+			"scheme", "max-min", "mean-mm", "max-avg", "dummies", "neg")
+		for _, r := range group {
+			fmt.Fprintf(&b, "  %-30s %10.2f %10.2f %10.2f %8d %5v\n",
+				r.Scheme, r.MaxMin, r.MeanMM, r.MaxAvg, r.Dummies, r.Neg)
+		}
+	}
+	return b.String()
+}
+
+// FormatTable2 renders Table 2 rows: one block per (graph class, model).
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2 — final max-min discrepancy at T (matching model)\n")
+	type key struct {
+		class GraphClass
+		model MatchingModel
+	}
+	byKey := map[key][]Table2Row{}
+	var order []key
+	for _, r := range rows {
+		k := key{r.Class, r.Model}
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], r)
+	}
+	for _, k := range order {
+		group := byKey[k]
+		first := group[0]
+		fmt.Fprintf(&b, "\n%s / %s matchings  (n=%d, d=%d, T=%d)\n",
+			k.class, k.model, first.N, first.MaxDeg, first.T)
+		fmt.Fprintf(&b, "  %-22s %10s %10s %10s %8s\n",
+			"scheme", "max-min", "mean-mm", "max-avg", "dummies")
+		for _, r := range group {
+			fmt.Fprintf(&b, "  %-22s %10.2f %10.2f %10.2f %8d\n",
+				r.Scheme, r.MaxMin, r.MeanMM, r.MaxAvg, r.Dummies)
+		}
+	}
+	return b.String()
+}
+
+// FormatScalePoints renders scaling series grouped by series name, sorted by
+// the swept parameter.
+func FormatScalePoints(title string, points []ScalePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	bySeries := map[string][]ScalePoint{}
+	var order []string
+	for _, p := range points {
+		if _, ok := bySeries[p.Series]; !ok {
+			order = append(order, p.Series)
+		}
+		bySeries[p.Series] = append(bySeries[p.Series], p)
+	}
+	for _, name := range order {
+		series := bySeries[name]
+		sort.Slice(series, func(i, j int) bool { return series[i].X < series[j].X })
+		fmt.Fprintf(&b, "\n%s\n", name)
+		fmt.Fprintf(&b, "  %10s %12s %12s %12s\n", "x", "value", "bound", "extra")
+		for _, p := range series {
+			fmt.Fprintf(&b, "  %10.4g %12.3f %12.3f %12.3f\n", p.X, p.Value, p.Bound, p.Extra)
+		}
+	}
+	return b.String()
+}
+
+// FormatConvergence renders convergence-time rows.
+func FormatConvergence(points []ConvergencePoint) string {
+	sort.Slice(points, func(i, j int) bool { return points[i].Graph < points[j].Graph })
+	var b strings.Builder
+	b.WriteString("Convergence times from point mass (continuous processes)\n")
+	fmt.Fprintf(&b, "  %-16s %6s %9s %7s %8s %8s %8s\n",
+		"graph", "n", "lambda", "beta*", "T(FOS)", "T(SOS)", "T(match)")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  %-16s %6d %9.5f %7.4f %8d %8d %8d\n",
+			p.Graph, p.N, p.Lambda, p.Beta, p.TFOS, p.TSOS, p.TMatch)
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatRowsGroupsByClass(t *testing.T) {
+	rows := []Row{
+		{Class: ClassHypercube, N: 16, MaxDeg: 4, Scheme: "a", T: 7, MaxMin: 1.5, MeanMM: 1.25, MaxAvg: 1},
+		{Class: ClassHypercube, N: 16, MaxDeg: 4, Scheme: "b", T: 7, MaxMin: 3, MeanMM: 3, MaxAvg: 2, Dummies: 5, Neg: true},
+		{Class: ClassTorus, N: 16, MaxDeg: 4, Scheme: "a", T: 9, MaxMin: 2, MeanMM: 2, MaxAvg: 1},
+	}
+	out := FormatRows("My Title", rows)
+	if !strings.HasPrefix(out, "My Title\n") {
+		t.Errorf("missing title: %q", out[:20])
+	}
+	if strings.Count(out, "hypercube") != 1 || strings.Count(out, "torus-2d") != 1 {
+		t.Error("each class should appear exactly once as a block header")
+	}
+	if !strings.Contains(out, "T=7") || !strings.Contains(out, "T=9") {
+		t.Error("block headers should carry T")
+	}
+	if !strings.Contains(out, "true") {
+		t.Error("negative-load flag missing")
+	}
+	if strings.Index(out, "hypercube") > strings.Index(out, "torus-2d") {
+		t.Error("blocks should preserve first-seen order")
+	}
+}
+
+func TestFormatScalePointsSortsByX(t *testing.T) {
+	points := []ScalePoint{
+		{Series: "s", X: 8, Value: 2},
+		{Series: "s", X: 2, Value: 1},
+		{Series: "s", X: 1.5, Value: 0.5},
+	}
+	out := FormatScalePoints("title", points)
+	var xs []string
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 4 && fields[0] != "x" {
+			xs = append(xs, fields[0])
+		}
+	}
+	want := []string{"1.5", "2", "8"}
+	if len(xs) != len(want) {
+		t.Fatalf("got %d data lines (%v), want %d:\n%s", len(xs), xs, len(want), out)
+	}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Errorf("line %d: x = %q, want %q", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestFormatConvergenceSortsByGraph(t *testing.T) {
+	points := []ConvergencePoint{
+		{Graph: "zebra", N: 4, Lambda: 0.5, Beta: 1.2, TFOS: 10, TSOS: 5, TMatch: 7},
+		{Graph: "alpha", N: 8, Lambda: 0.9, Beta: 1.5, TFOS: 100, TSOS: 20, TMatch: 70},
+	}
+	out := FormatConvergence(points)
+	if strings.Index(out, "alpha") > strings.Index(out, "zebra") {
+		t.Error("convergence rows should be sorted by graph name")
+	}
+	if !strings.Contains(out, "0.90000") {
+		t.Error("lambda formatting missing")
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/continuous"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// CycleLowerBound contrasts round-down FOS with Algorithm 1 on cycles of
+// growing size. Round-down's final discrepancy is Ω(d·diam(G)) (Friedrich
+// et al.; Ghosh–Muthukrishnan), so it must grow linearly with n on the
+// cycle, while Theorem 3 keeps Algorithm 1 at O(d) = O(1). This experiment
+// demonstrates the separation that Table 1's torus/cycle columns encode.
+// Value = final max-min discrepancy; Bound = Theorem 3's 2d+2 for the
+// Algorithm 1 series.
+func CycleLowerBound(sizes []int, cfg Config) ([]ScalePoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var points []ScalePoint
+	for _, n := range sizes {
+		pair, err := cycleLowerBoundPoint(n, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("cycle n=%d: %w", n, err)
+		}
+		points = append(points, pair...)
+	}
+	return points, nil
+}
+
+func cycleLowerBoundPoint(n int, cfg Config) ([]ScalePoint, error) {
+	g, err := graph.Cycle(n)
+	if err != nil {
+		return nil, err
+	}
+	s := load.UniformSpeeds(g.N())
+	alpha, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		return nil, err
+	}
+	// Adversarial half-loaded start: all load spread over one arc of the
+	// cycle, which maximizes the cumulative rounding deficit across the
+	// cut — the configuration behind the Ω(diam) lower bound.
+	x0 := workload.Bipartition(g, cfg.TokensPerNode*int64(g.N()), n/4)
+	factory := continuous.FOSFactory(g, s, alpha)
+	bt, err := sim.TimeToBalance(factory, x0.Float(), cfg.MaxRounds)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := BuildDiffusionScheme(SchemeRoundDown, g, s, alpha, x0, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rdRes, err := sim.Run(rd, sim.Options{Rounds: bt, RealTotal: x0.Total()})
+	if err != nil {
+		return nil, err
+	}
+	dist, err := load.NewTokens(x0)
+	if err != nil {
+		return nil, err
+	}
+	alg1, err := core.NewFlowImitation(g, s, dist, factory, core.PolicyLIFO)
+	if err != nil {
+		return nil, err
+	}
+	a1Res, err := sim.Run(alg1, sim.Options{Rounds: bt, RealTotal: x0.Total()})
+	if err != nil {
+		return nil, err
+	}
+	return []ScalePoint{
+		{Series: "round-down-vs-n(cycle)", X: float64(n), Value: rdRes.MaxMin, Extra: float64(bt)},
+		{Series: "alg1-vs-n(cycle)", X: float64(n), Value: a1Res.MaxMin,
+			Bound: float64(2*g.MaxDegree() + 2), Extra: float64(bt)},
+	}, nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import "testing"
+
+func TestCycleLowerBoundSeparation(t *testing.T) {
+	cfg := quickCfg()
+	cfg.MaxRounds = 2_000_000
+	sizes := []int{16, 32, 64}
+	points, err := CycleLowerBound(sizes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg1 := map[float64]float64{}
+	rd := map[float64]float64{}
+	for _, p := range points {
+		switch p.Series {
+		case "alg1-vs-n(cycle)":
+			alg1[p.X] = p.Value
+			if p.Value > p.Bound {
+				t.Errorf("n=%v: Alg 1 max-min %v > bound %v", p.X, p.Value, p.Bound)
+			}
+		case "round-down-vs-n(cycle)":
+			rd[p.X] = p.Value
+		}
+	}
+	if len(alg1) != len(sizes) || len(rd) != len(sizes) {
+		t.Fatalf("missing series points: alg1=%d rd=%d", len(alg1), len(rd))
+	}
+	// Round-down must grow with n (the Ω(diam) effect) while Alg 1 stays
+	// flat; demand a clear separation at the largest size.
+	if !(rd[64] > rd[16]) {
+		t.Errorf("round-down should grow with n: rd(16)=%v rd(64)=%v", rd[16], rd[64])
+	}
+	if !(rd[64] > alg1[64]) {
+		t.Errorf("round-down (%v) should exceed Alg 1 (%v) at n=64", rd[64], alg1[64])
+	}
+}
+
+func TestTable3GeneralModel(t *testing.T) {
+	cfg := quickCfg()
+	rows, err := Table3(cfg, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Table1Classes())*4 {
+		t.Fatalf("got %d rows, want %d", len(rows), len(Table1Classes())*4)
+	}
+	for _, r := range rows {
+		if r.Scheme == "Alg 1 (whole tasks)" {
+			bound := float64(2*int64(r.MaxDeg)*6 + 2)
+			if r.MaxAvg > bound {
+				t.Errorf("%v: Alg 1 max-avg %v > Theorem 3 bound %v", r.Class, r.MaxAvg, bound)
+			}
+		}
+		if r.T <= 0 {
+			t.Errorf("%v/%s: T = %d", r.Class, r.Scheme, r.T)
+		}
+	}
+	if _, err := Table3(cfg, 0, 1); err == nil {
+		t.Error("wmax < 1 should error")
+	}
+}

@@ -1,0 +1,505 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/continuous"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/matching"
+	"repro/internal/sim"
+	"repro/internal/spectral"
+	"repro/internal/workload"
+)
+
+// ScalePoint is one point of a scaling series ("figure" experiment).
+type ScalePoint struct {
+	Series string
+	X      float64 // the swept parameter (d, n, wmax, ℓ, ...)
+	Value  float64 // measured discrepancy (worst trial for randomized runs)
+	Bound  float64 // the paper's bound at this point (0 if not applicable)
+	Extra  float64 // experiment-specific auxiliary value
+}
+
+// Theorem3ScalingD measures Algorithm 1's final max-avg discrepancy against
+// the Theorem 3 bound 2·d·wmax + 2 as the degree grows (hypercubes of
+// dimension dims[...]), plus a flatness-in-n series on random 4-regular
+// graphs of the given sizes. Unit tokens, so wmax = 1.
+func Theorem3ScalingD(dims []int, sizes []int, cfg Config) ([]ScalePoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var points []ScalePoint
+	for _, dim := range dims {
+		g, err := graph.Hypercube(dim)
+		if err != nil {
+			return nil, err
+		}
+		val, err := alg1MaxAvg(g, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("hypercube dim %d: %w", dim, err)
+		}
+		points = append(points, ScalePoint{
+			Series: "alg1-vs-d(hypercube)",
+			X:      float64(dim),
+			Value:  val,
+			Bound:  float64(2*dim + 2),
+		})
+	}
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
+		g, err := graph.RandomRegular(n, 4, rng)
+		if err != nil {
+			return nil, err
+		}
+		val, err := alg1MaxAvg(g, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("random 4-regular n=%d: %w", n, err)
+		}
+		points = append(points, ScalePoint{
+			Series: "alg1-vs-n(4-regular)",
+			X:      float64(n),
+			Value:  val,
+			Bound:  float64(2*4 + 2),
+		})
+		// Contrast series: round-down grows with n on low-expansion
+		// graphs; on expanders it is O(log n)-ish but still n-dependent.
+		rdVal, err := roundDownMaxAvg(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, ScalePoint{
+			Series: "round-down-vs-n(4-regular)",
+			X:      float64(n),
+			Value:  rdVal,
+		})
+	}
+	return points, nil
+}
+
+func alg1MaxAvg(g *graph.Graph, cfg Config) (float64, error) {
+	s := load.UniformSpeeds(g.N())
+	alpha, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		return 0, err
+	}
+	x0, err := workload.PointMass(g.N(), cfg.TokensPerNode*int64(g.N()), 0)
+	if err != nil {
+		return 0, err
+	}
+	bt, err := sim.TimeToBalance(continuous.FOSFactory(g, s, alpha), x0.Float(), cfg.MaxRounds)
+	if err != nil {
+		return 0, err
+	}
+	p, err := BuildDiffusionScheme(SchemeAlg1, g, s, alpha, x0, cfg.Seed)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sim.Run(p, sim.Options{Rounds: bt, RealTotal: x0.Total()})
+	if err != nil {
+		return 0, err
+	}
+	return res.MaxAvg, nil
+}
+
+func roundDownMaxAvg(g *graph.Graph, cfg Config) (float64, error) {
+	s := load.UniformSpeeds(g.N())
+	alpha, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		return 0, err
+	}
+	x0, err := workload.PointMass(g.N(), cfg.TokensPerNode*int64(g.N()), 0)
+	if err != nil {
+		return 0, err
+	}
+	bt, err := sim.TimeToBalance(continuous.FOSFactory(g, s, alpha), x0.Float(), cfg.MaxRounds)
+	if err != nil {
+		return 0, err
+	}
+	p, err := BuildDiffusionScheme(SchemeRoundDown, g, s, alpha, x0, cfg.Seed)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sim.Run(p, sim.Options{Rounds: bt, RealTotal: x0.Total()})
+	if err != nil {
+		return 0, err
+	}
+	return res.MaxAvg, nil
+}
+
+// Theorem3ScalingWmax measures Algorithm 1's final max-avg discrepancy as
+// the maximum task weight grows, with heterogeneous speeds, against the
+// bound 2·d·wmax + 2. The torus keeps d fixed at 4 so the sweep isolates
+// wmax.
+func Theorem3ScalingWmax(wmaxes []int64, cfg Config) ([]ScalePoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	side := 3
+	for (side+1)*(side+1) <= cfg.N {
+		side++
+	}
+	g, err := graph.Torus(side, side)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s, err := workload.RandomSpeeds(g.N(), 4, rng)
+	if err != nil {
+		return nil, err
+	}
+	alpha, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		return nil, err
+	}
+	var points []ScalePoint
+	numTasks := int(cfg.TokensPerNode) * g.N()
+	for _, wmax := range wmaxes {
+		dist, err := workload.PointMassWeightedTasks(g.N(), numTasks, 0, wmax, rng)
+		if err != nil {
+			return nil, err
+		}
+		x0 := dist.Loads()
+		bt, err := sim.TimeToBalance(continuous.FOSFactory(g, s, alpha), x0.Float(), cfg.MaxRounds)
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.NewFlowImitation(g, s, dist, continuous.FOSFactory(g, s, alpha), core.PolicyLIFO)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(p, sim.Options{Rounds: bt, RealTotal: x0.Total()})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, ScalePoint{
+			Series: "alg1-vs-wmax(torus,speeds)",
+			X:      float64(wmax),
+			Value:  res.MaxAvg,
+			Bound:  float64(2*int64(g.MaxDegree())*dist.MaxWeight() + 2),
+			Extra:  float64(res.Dummies),
+		})
+	}
+	return points, nil
+}
+
+// Theorem8Scaling measures Algorithm 2's final max-avg discrepancy (worst
+// over cfg.Trials seeds) against the Theorem 8 shape d/4 + sqrt(d·ln n) as
+// the degree grows on hypercubes, plus a flatness-in-n series on random
+// 4-regular graphs.
+func Theorem8Scaling(dims []int, sizes []int, cfg Config) ([]ScalePoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var points []ScalePoint
+	for _, dim := range dims {
+		g, err := graph.Hypercube(dim)
+		if err != nil {
+			return nil, err
+		}
+		val, err := alg2WorstMaxAvg(g, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("hypercube dim %d: %w", dim, err)
+		}
+		d := float64(dim)
+		points = append(points, ScalePoint{
+			Series: "alg2-vs-d(hypercube)",
+			X:      d,
+			Value:  val,
+			Bound:  d/4 + math.Sqrt(d*math.Log(float64(g.N()))),
+		})
+	}
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
+		g, err := graph.RandomRegular(n, 4, rng)
+		if err != nil {
+			return nil, err
+		}
+		val, err := alg2WorstMaxAvg(g, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("random 4-regular n=%d: %w", n, err)
+		}
+		points = append(points, ScalePoint{
+			Series: "alg2-vs-n(4-regular)",
+			X:      float64(n),
+			Value:  val,
+			Bound:  1 + math.Sqrt(4*math.Log(float64(n))),
+		})
+	}
+	return points, nil
+}
+
+func alg2WorstMaxAvg(g *graph.Graph, cfg Config) (float64, error) {
+	s := load.UniformSpeeds(g.N())
+	alpha, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		return 0, err
+	}
+	x0, err := workload.PointMass(g.N(), cfg.TokensPerNode*int64(g.N()), 0)
+	if err != nil {
+		return 0, err
+	}
+	bt, err := sim.TimeToBalance(continuous.FOSFactory(g, s, alpha), x0.Float(), cfg.MaxRounds)
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for trial := 0; trial < cfg.Trials; trial++ {
+		p, err := BuildDiffusionScheme(SchemeAlg2, g, s, alpha, x0, cfg.Seed+int64(101*trial+5))
+		if err != nil {
+			return 0, err
+		}
+		res, err := sim.Run(p, sim.Options{Rounds: bt, RealTotal: x0.Total()})
+		if err != nil {
+			return 0, err
+		}
+		if res.MaxAvg > worst {
+			worst = res.MaxAvg
+		}
+	}
+	return worst, nil
+}
+
+// ConvergencePoint reports the measured balancing time of the continuous
+// processes on one graph, together with the spectral quantities the paper's
+// T bounds are stated in.
+type ConvergencePoint struct {
+	Graph    string
+	N        int
+	Lambda   float64
+	Beta     float64
+	TFOS     int
+	TSOS     int
+	TMatch   int
+	OneMinus float64 // 1 - λ
+}
+
+// ConvergenceTimes measures T for FOS, SOS (optimal β*) and the periodic
+// matching process on the given graphs, from the point-mass start.
+func ConvergenceTimes(graphs map[string]*graph.Graph, cfg Config) ([]ConvergencePoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var points []ConvergencePoint
+	for name, g := range graphs {
+		s := load.UniformSpeeds(g.N())
+		alpha, err := continuous.DefaultAlphas(g, s)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		lambda, err := continuous.DiffusionLambda(g, s, alpha, 2000, rng)
+		if err != nil {
+			return nil, err
+		}
+		if lambda > 0.9999999 {
+			lambda = 0.9999999
+		}
+		beta, err := spectral.OptimalSOSBeta(lambda)
+		if err != nil {
+			return nil, err
+		}
+		x0, err := workload.PointMass(g.N(), cfg.TokensPerNode*int64(g.N()), 0)
+		if err != nil {
+			return nil, err
+		}
+		tf, err := sim.TimeToBalance(continuous.FOSFactory(g, s, alpha), x0.Float(), cfg.MaxRounds)
+		if err != nil {
+			return nil, fmt.Errorf("%s: FOS: %w", name, err)
+		}
+		ts, err := sim.TimeToBalance(continuous.SOSFactory(g, s, alpha, beta), x0.Float(), cfg.MaxRounds)
+		if err != nil {
+			return nil, fmt.Errorf("%s: SOS: %w", name, err)
+		}
+		sched, err := matching.NewPeriodicFromColoring(g)
+		if err != nil {
+			return nil, err
+		}
+		tm, err := sim.TimeToBalance(continuous.MatchingFactory(g, s, sched), x0.Float(), cfg.MaxRounds)
+		if err != nil {
+			return nil, fmt.Errorf("%s: matching: %w", name, err)
+		}
+		points = append(points, ConvergencePoint{
+			Graph:    name,
+			N:        g.N(),
+			Lambda:   lambda,
+			Beta:     beta,
+			TFOS:     tf,
+			TSOS:     ts,
+			TMatch:   tm,
+			OneMinus: 1 - lambda,
+		})
+	}
+	return points, nil
+}
+
+// DummyTokenSweep measures how many dummy tokens Algorithms 1 and 2 create
+// as a function of the per-speed initial-load floor ℓ, from the point-mass
+// start shifted by ℓ·s_i (the Theorem 3(2)/8(2) condition: ℓ >= d·wmax for
+// Algorithm 1 guarantees zero dummies).
+func DummyTokenSweep(floors []int64, cfg Config) ([]ScalePoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	side := 3
+	for (side+1)*(side+1) <= cfg.N {
+		side++
+	}
+	g, err := graph.Torus(side, side)
+	if err != nil {
+		return nil, err
+	}
+	s := load.UniformSpeeds(g.N())
+	alpha, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		return nil, err
+	}
+	base, err := workload.PointMass(g.N(), cfg.TokensPerNode*int64(g.N()), 0)
+	if err != nil {
+		return nil, err
+	}
+	var points []ScalePoint
+	for _, ell := range floors {
+		x0, err := workload.AddFloor(base, s, ell)
+		if err != nil {
+			return nil, err
+		}
+		bt, err := sim.TimeToBalance(continuous.FOSFactory(g, s, alpha), x0.Float(), cfg.MaxRounds)
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range []SchemeKind{SchemeAlg1, SchemeAlg2} {
+			p, err := BuildDiffusionScheme(kind, g, s, alpha, x0, cfg.Seed+ell)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(p, sim.Options{Rounds: bt, RealTotal: x0.Total()})
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, ScalePoint{
+				Series: "dummies-" + kind.String(),
+				X:      float64(ell),
+				Value:  float64(res.Dummies),
+				Extra:  res.MaxMin,
+			})
+		}
+	}
+	return points, nil
+}
+
+// SOSNegativeLoadCheck verifies the paper's remark that among the supported
+// processes only SOS can induce negative load (Definition 1): it runs FOS,
+// SOS at β* and the periodic matching process from a point mass on a cycle
+// (where λ is close to 1 and β* close to 2) and reports, per process,
+// whether Definition 1 was violated and how many dummy tokens Algorithm 1
+// needed on top of it.
+func SOSNegativeLoadCheck(cfg Config) ([]ScalePoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g, err := graph.Cycle(cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	s := load.UniformSpeeds(g.N())
+	alpha, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	lambda, err := continuous.DiffusionLambda(g, s, alpha, 4000, rng)
+	if err != nil {
+		return nil, err
+	}
+	if lambda > 0.9999999 {
+		lambda = 0.9999999
+	}
+	beta, err := spectral.OptimalSOSBeta(lambda)
+	if err != nil {
+		return nil, err
+	}
+	x0, err := workload.PointMass(g.N(), cfg.TokensPerNode*int64(g.N()), 0)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := matching.NewPeriodicFromColoring(g)
+	if err != nil {
+		return nil, err
+	}
+	rounds := 4 * cfg.N
+	factories := map[string]continuous.Factory{
+		"fos":      continuous.FOSFactory(g, s, alpha),
+		"sos":      continuous.SOSFactory(g, s, alpha, beta),
+		"matching": continuous.MatchingFactory(g, s, sched),
+	}
+	var points []ScalePoint
+	for name, f := range factories {
+		probe, err := f(x0.Float())
+		if err != nil {
+			return nil, err
+		}
+		neg, round := continuous.InducesNegativeLoad(probe, rounds)
+		val := 0.0
+		if neg {
+			val = 1
+		}
+		dist, err := load.NewTokens(x0)
+		if err != nil {
+			return nil, err
+		}
+		fi, err := core.NewFlowImitation(g, s, dist, f, core.PolicyLIFO)
+		if err != nil {
+			return nil, err
+		}
+		for t := 0; t < rounds; t++ {
+			fi.Step()
+		}
+		points = append(points, ScalePoint{
+			Series: "negload-" + name,
+			X:      float64(round),
+			Value:  val,
+			Extra:  float64(fi.DummiesCreated()),
+			Bound:  beta,
+		})
+	}
+	return points, nil
+}
+
+// AccumErrorCheck runs the deterministic baseline of Friedrich et al. and
+// reports the largest accumulated rounding error seen, the bounded-error
+// property their analysis relies on.
+func AccumErrorCheck(cfg Config) (float64, error) {
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	g, err := BuildClass(ClassHypercube, cfg.N, cfg.Seed)
+	if err != nil {
+		return 0, err
+	}
+	s := load.UniformSpeeds(g.N())
+	alpha, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		return 0, err
+	}
+	x0, err := workload.PointMass(g.N(), cfg.TokensPerNode*int64(g.N()), 0)
+	if err != nil {
+		return 0, err
+	}
+	p, err := baseline.NewDeterministicAccum(g, s, alpha, x0)
+	if err != nil {
+		return 0, err
+	}
+	bt, err := sim.TimeToBalance(continuous.FOSFactory(g, s, alpha), x0.Float(), cfg.MaxRounds)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := sim.Run(p, sim.Options{Rounds: bt, RealTotal: x0.Total()}); err != nil {
+		return 0, err
+	}
+	return p.MaxAccumError(), nil
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/continuous"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/matching"
+	"repro/internal/sim"
+)
+
+// SchemeKind enumerates the discrete schemes compared by the tables.
+type SchemeKind int
+
+const (
+	// SchemeRoundDown is the round-down FOS of Rabani et al.
+	SchemeRoundDown SchemeKind = iota + 1
+	// SchemeDetAccum is the deterministic bounded-error rounding of
+	// Friedrich et al.
+	SchemeDetAccum
+	// SchemeAlg1 is the paper's Algorithm 1 over FOS.
+	SchemeAlg1
+	// SchemeRandRound is the randomized rounding FOS of Friedrich et al.
+	SchemeRandRound
+	// SchemeExcess is the excess-token diffusion of Berenbrink et al.
+	SchemeExcess
+	// SchemeAlg2 is the paper's Algorithm 2 over FOS.
+	SchemeAlg2
+	// SchemeMatchRoundDown is round-down dimension exchange.
+	SchemeMatchRoundDown
+	// SchemeMatchRandRound is randomized-rounding dimension exchange
+	// (Friedrich and Sauerwald).
+	SchemeMatchRandRound
+	// SchemeMatchAlg1 is Algorithm 1 over the matching process.
+	SchemeMatchAlg1
+	// SchemeMatchAlg2 is Algorithm 2 over the matching process.
+	SchemeMatchAlg2
+)
+
+// String implements fmt.Stringer.
+func (k SchemeKind) String() string {
+	switch k {
+	case SchemeRoundDown:
+		return "round-down [37]"
+	case SchemeDetAccum:
+		return "deterministic [26]"
+	case SchemeAlg1:
+		return "Alg 1 (Thm 3)"
+	case SchemeRandRound:
+		return "rand-round [26]"
+	case SchemeExcess:
+		return "excess-token [9]"
+	case SchemeAlg2:
+		return "Alg 2 (Thm 8)"
+	case SchemeMatchRoundDown:
+		return "round-down [37]"
+	case SchemeMatchRandRound:
+		return "rand-round [24]"
+	case SchemeMatchAlg1:
+		return "Alg 1 (Thm 3)"
+	case SchemeMatchAlg2:
+		return "Alg 2 (Thm 8)"
+	default:
+		return fmt.Sprintf("SchemeKind(%d)", int(k))
+	}
+}
+
+// Randomized reports whether the scheme needs multiple trials.
+func (k SchemeKind) Randomized() bool {
+	switch k {
+	case SchemeRandRound, SchemeExcess, SchemeAlg2, SchemeMatchRandRound, SchemeMatchAlg2:
+		return true
+	default:
+		return false
+	}
+}
+
+// DiffusionSchemes lists the Table 1 schemes in presentation order.
+func DiffusionSchemes() []SchemeKind {
+	return []SchemeKind{
+		SchemeRoundDown, SchemeDetAccum, SchemeAlg1,
+		SchemeRandRound, SchemeExcess, SchemeAlg2,
+	}
+}
+
+// MatchingSchemes lists the Table 2 schemes in presentation order.
+func MatchingSchemes() []SchemeKind {
+	return []SchemeKind{
+		SchemeMatchRoundDown, SchemeMatchRandRound, SchemeMatchAlg1, SchemeMatchAlg2,
+	}
+}
+
+// BuildDiffusionScheme instantiates a Table 1 scheme on (g, s, alpha) with
+// initial token counts x0 and the given trial seed.
+func BuildDiffusionScheme(k SchemeKind, g *graph.Graph, s load.Speeds, alpha continuous.Alphas, x0 load.Vector, seed int64) (sim.Discrete, error) {
+	rng := rand.New(rand.NewSource(seed))
+	fosFactory := continuous.FOSFactory(g, s, alpha)
+	switch k {
+	case SchemeRoundDown:
+		return baseline.NewRoundDownDiffusion(g, s, alpha, x0)
+	case SchemeDetAccum:
+		return baseline.NewDeterministicAccum(g, s, alpha, x0)
+	case SchemeAlg1:
+		dist, err := load.NewTokens(x0)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFlowImitation(g, s, dist, fosFactory, core.PolicyLIFO)
+	case SchemeRandRound:
+		return baseline.NewRandomizedRounding(g, s, alpha, x0, rng)
+	case SchemeExcess:
+		return baseline.NewExcessToken(g, s, alpha, x0, rng)
+	case SchemeAlg2:
+		return core.NewRandomizedFlowImitation(g, s, x0, fosFactory, rng)
+	default:
+		return nil, fmt.Errorf("experiments: %v is not a diffusion scheme", k)
+	}
+}
+
+// BuildMatchingScheme instantiates a Table 2 scheme on (g, s) driven by
+// sched with initial token counts x0 and the given trial seed.
+func BuildMatchingScheme(k SchemeKind, g *graph.Graph, s load.Speeds, sched matching.Schedule, x0 load.Vector, seed int64) (sim.Discrete, error) {
+	rng := rand.New(rand.NewSource(seed))
+	factory := continuous.MatchingFactory(g, s, sched)
+	switch k {
+	case SchemeMatchRoundDown:
+		return baseline.NewRoundDownMatching(g, s, sched, x0)
+	case SchemeMatchRandRound:
+		return baseline.NewRandomizedMatching(g, s, sched, x0, rng)
+	case SchemeMatchAlg1:
+		dist, err := load.NewTokens(x0)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFlowImitation(g, s, dist, factory, core.PolicyLIFO)
+	case SchemeMatchAlg2:
+		return core.NewRandomizedFlowImitation(g, s, x0, factory, rng)
+	default:
+		return nil, fmt.Errorf("experiments: %v is not a matching scheme", k)
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/continuous"
+	"repro/internal/load"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Table1Classes lists the graph-class columns of Table 1 in paper order;
+// the "r-dim tori" column is instantiated at both r = 2 and r = 3.
+func Table1Classes() []GraphClass {
+	return []GraphClass{ClassArbitrary, ClassExpander, ClassHypercube, ClassTorus, ClassTorus3D}
+}
+
+// Table1 reproduces Table 1: final max-min discrepancy of the diffusion-model
+// discrete schemes at the continuous balancing time T, on every graph class,
+// from the adversarial point-mass start. Randomized schemes are repeated
+// over cfg.Trials seeds; the reported MaxMin is the worst trial.
+func Table1(cfg Config) ([]Row, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, class := range Table1Classes() {
+		classRows, err := table1Class(cfg, class)
+		if err != nil {
+			return nil, fmt.Errorf("table 1, %v: %w", class, err)
+		}
+		rows = append(rows, classRows...)
+	}
+	return rows, nil
+}
+
+func table1Class(cfg Config, class GraphClass) ([]Row, error) {
+	g, err := BuildClass(class, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := load.UniformSpeeds(g.N())
+	alpha, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		return nil, err
+	}
+	x0, err := workload.PointMass(g.N(), cfg.TokensPerNode*int64(g.N()), 0)
+	if err != nil {
+		return nil, err
+	}
+	bt, err := sim.TimeToBalance(continuous.FOSFactory(g, s, alpha), x0.Float(), cfg.MaxRounds)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, 0, len(DiffusionSchemes()))
+	for _, kind := range DiffusionSchemes() {
+		trials := 1
+		if kind.Randomized() {
+			trials = cfg.Trials
+		}
+		var maxMins, maxAvgs []float64
+		row := Row{Class: class, N: g.N(), MaxDeg: g.MaxDegree(), Scheme: kind.String(), T: bt, Trials: trials}
+		for trial := 0; trial < trials; trial++ {
+			p, err := BuildDiffusionScheme(kind, g, s, alpha, x0, cfg.Seed+int64(1000*trial+7))
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(p, sim.Options{Rounds: bt, RealTotal: x0.Total()})
+			if err != nil {
+				return nil, err
+			}
+			maxMins = append(maxMins, res.MaxMin)
+			maxAvgs = append(maxAvgs, res.MaxAvg)
+			if res.Dummies > row.Dummies {
+				row.Dummies = res.Dummies
+			}
+			row.Neg = row.Neg || res.WentNegative
+		}
+		mm := sim.Aggregate(maxMins)
+		ma := sim.Aggregate(maxAvgs)
+		row.MaxMin = mm.Max
+		row.MeanMM = mm.Mean
+		row.MaxAvg = ma.Max
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

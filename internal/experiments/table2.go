@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/continuous"
+	"repro/internal/load"
+	"repro/internal/matching"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// MatchingModel selects between the two matching-model rows of Table 2.
+type MatchingModel int
+
+const (
+	// ModelPeriodic uses the fixed matchings of a greedy edge colouring,
+	// cycled periodically.
+	ModelPeriodic MatchingModel = iota + 1
+	// ModelRandom uses an independent random maximal matching per round.
+	ModelRandom
+)
+
+// String implements fmt.Stringer.
+func (m MatchingModel) String() string {
+	switch m {
+	case ModelPeriodic:
+		return "periodic"
+	case ModelRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("MatchingModel(%d)", int(m))
+	}
+}
+
+// Table2Row extends Row with the matching model.
+type Table2Row struct {
+	Row
+	Model MatchingModel
+}
+
+// Table2 reproduces Table 2: final max-min discrepancy of the matching-model
+// discrete schemes at the continuous balancing time T, for both the periodic
+// and the random matching models, on every graph class.
+func Table2(cfg Config) ([]Table2Row, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for _, class := range Table1Classes() {
+		for _, model := range []MatchingModel{ModelPeriodic, ModelRandom} {
+			classRows, err := table2Class(cfg, class, model)
+			if err != nil {
+				return nil, fmt.Errorf("table 2, %v/%v: %w", class, model, err)
+			}
+			rows = append(rows, classRows...)
+		}
+	}
+	return rows, nil
+}
+
+func table2Class(cfg Config, class GraphClass, model MatchingModel) ([]Table2Row, error) {
+	g, err := BuildClass(class, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := load.UniformSpeeds(g.N())
+	x0, err := workload.PointMass(g.N(), cfg.TokensPerNode*int64(g.N()), 0)
+	if err != nil {
+		return nil, err
+	}
+	newSched := func(trial int) (matching.Schedule, error) {
+		switch model {
+		case ModelPeriodic:
+			return matching.NewPeriodicFromColoring(g)
+		case ModelRandom:
+			return matching.NewRandom(g, cfg.Seed+int64(31*trial)), nil
+		default:
+			return nil, fmt.Errorf("experiments: unknown matching model %v", model)
+		}
+	}
+	rows := make([]Table2Row, 0, len(MatchingSchemes()))
+	for _, kind := range MatchingSchemes() {
+		trials := 1
+		if kind.Randomized() || model == ModelRandom {
+			trials = cfg.Trials
+		}
+		var maxMins, maxAvgs []float64
+		row := Table2Row{
+			Row:   Row{Class: class, N: g.N(), MaxDeg: g.MaxDegree(), Scheme: kind.String(), Trials: trials},
+			Model: model,
+		}
+		for trial := 0; trial < trials; trial++ {
+			sched, err := newSched(trial)
+			if err != nil {
+				return nil, err
+			}
+			bt, err := sim.TimeToBalance(continuous.MatchingFactory(g, s, sched), x0.Float(), cfg.MaxRounds)
+			if err != nil {
+				return nil, err
+			}
+			if bt > row.T {
+				row.T = bt
+			}
+			p, err := BuildMatchingScheme(kind, g, s, sched, x0, cfg.Seed+int64(1000*trial+13))
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(p, sim.Options{Rounds: bt, RealTotal: x0.Total()})
+			if err != nil {
+				return nil, err
+			}
+			maxMins = append(maxMins, res.MaxMin)
+			maxAvgs = append(maxAvgs, res.MaxAvg)
+			if res.Dummies > row.Dummies {
+				row.Dummies = res.Dummies
+			}
+			row.Neg = row.Neg || res.WentNegative
+		}
+		mm := sim.Aggregate(maxMins)
+		ma := sim.Aggregate(maxAvgs)
+		row.MaxMin = mm.Max
+		row.MeanMM = mm.Mean
+		row.MaxAvg = ma.Max
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,348 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Hypercube returns the dim-dimensional hypercube with n = 2^dim nodes.
+// Node i and node j are adjacent iff their binary labels differ in exactly
+// one bit. Every node has degree dim; the diameter is dim.
+func Hypercube(dim int) (*Graph, error) {
+	if dim < 0 || dim > 24 {
+		return nil, fmt.Errorf("graph: hypercube dimension %d out of range [0,24]", dim)
+	}
+	n := 1 << dim
+	edges := make([][2]int, 0, n*dim/2)
+	for u := 0; u < n; u++ {
+		for b := 0; b < dim; b++ {
+			v := u ^ (1 << b)
+			if u < v {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	return New(n, edges)
+}
+
+// Torus returns the r-dimensional torus with side lengths dims[0..r-1] and
+// wrap-around edges in every dimension. Every side must be at least 3 so the
+// graph stays simple (side 2 would create parallel edges). Node indices are
+// row-major over the dimensions.
+func Torus(dims ...int) (*Graph, error) {
+	if len(dims) == 0 {
+		return nil, errors.New("graph: torus needs at least one dimension")
+	}
+	n := 1
+	for _, s := range dims {
+		if s < 3 {
+			return nil, fmt.Errorf("graph: torus side %d must be >= 3", s)
+		}
+		n *= s
+	}
+	strides := make([]int, len(dims))
+	stride := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		strides[i] = stride
+		stride *= dims[i]
+	}
+	coord := make([]int, len(dims))
+	edges := make([][2]int, 0, n*len(dims))
+	for u := 0; u < n; u++ {
+		rem := u
+		for i := range dims {
+			coord[i] = rem / strides[i]
+			rem %= strides[i]
+		}
+		for i, s := range dims {
+			next := (coord[i] + 1) % s
+			v := u + (next-coord[i])*strides[i]
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return New(n, edges)
+}
+
+// Grid2D returns the rows x cols grid without wrap-around edges.
+func Grid2D(rows, cols int) (*Graph, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("graph: grid dimensions %dx%d must be positive", rows, cols)
+	}
+	n := rows * cols
+	edges := make([][2]int, 0, 2*n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := r*cols + c
+			if c+1 < cols {
+				edges = append(edges, [2]int{u, u + 1})
+			}
+			if r+1 < rows {
+				edges = append(edges, [2]int{u, u + cols})
+			}
+		}
+	}
+	return New(n, edges)
+}
+
+// Cycle returns the n-node cycle (n >= 3).
+func Cycle(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: cycle needs n >= 3, got %d", n)
+	}
+	edges := make([][2]int, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+	}
+	return New(n, edges)
+}
+
+// Path returns the n-node path graph.
+func Path(n int) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: path needs n >= 1, got %d", n)
+	}
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return New(n, edges)
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: complete graph needs n >= 1, got %d", n)
+	}
+	edges := make([][2]int, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return New(n, edges)
+}
+
+// Star returns the n-node star with node 0 at the centre.
+func Star(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: star needs n >= 2, got %d", n)
+	}
+	edges := make([][2]int, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int{0, v})
+	}
+	return New(n, edges)
+}
+
+// CompleteBinaryTree returns the complete binary tree with 2^(depth+1)-1
+// nodes; node 0 is the root and node i has children 2i+1 and 2i+2.
+func CompleteBinaryTree(depth int) (*Graph, error) {
+	if depth < 0 || depth > 22 {
+		return nil, fmt.Errorf("graph: binary tree depth %d out of range [0,22]", depth)
+	}
+	n := (1 << (depth + 1)) - 1
+	edges := make([][2]int, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int{(v - 1) / 2, v})
+	}
+	return New(n, edges)
+}
+
+// RandomRegular returns a random d-regular simple graph on n nodes using the
+// configuration (pairing) model with edge-swap repair: stubs are paired
+// uniformly at random, and any self loops or parallel edges are removed by
+// random double-edge swaps (which preserve all degrees). Pure rejection
+// would need ~exp(d²/4) attempts on small dense instances; the repair phase
+// makes the generator reliable for all 1 <= d < n with n*d even. For small
+// constant d the result is an expander with high probability, which is how
+// the paper's "expanders with d = O(1)" row is instantiated.
+func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
+	if d < 1 || d >= n {
+		return nil, fmt.Errorf("graph: random regular needs 1 <= d < n, got d=%d n=%d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: random regular needs n*d even, got n=%d d=%d", n, d)
+	}
+	const maxAttempts = 200
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		edges, ok := pairAndRepair(n, d, rng)
+		if !ok {
+			continue
+		}
+		g, err := New(n, edges)
+		if err != nil {
+			return nil, err
+		}
+		if g.IsConnected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: random regular generation failed after %d attempts (n=%d d=%d)", maxAttempts, n, d)
+}
+
+// pairAndRepair draws a random stub pairing and repairs self loops and
+// parallel edges via random double-edge swaps. It returns the simple edge
+// list, or ok=false when the repair budget is exhausted (caller restarts).
+func pairAndRepair(n, d int, rng *rand.Rand) ([][2]int, bool) {
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for k := 0; k < d; k++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	m := n * d / 2
+	edges := make([][2]int, 0, m)
+	for i := 0; i < len(stubs); i += 2 {
+		edges = append(edges, [2]int{stubs[i], stubs[i+1]})
+	}
+	norm := func(e [2]int) [2]int {
+		if e[0] > e[1] {
+			e[0], e[1] = e[1], e[0]
+		}
+		return e
+	}
+	// count tracks multiplicities of normalized non-loop edges so "bad"
+	// membership (loop or multiplicity > 1) is O(1) to evaluate.
+	count := make(map[[2]int]int, m)
+	for _, e := range edges {
+		if e[0] != e[1] {
+			count[norm(e)]++
+		}
+	}
+	isBad := func(e [2]int) bool {
+		return e[0] == e[1] || count[norm(e)] > 1
+	}
+	var bad []int
+	for i, e := range edges {
+		if isBad(e) {
+			bad = append(bad, i)
+		}
+	}
+	// Each accepted swap of a bad edge with a random partner strictly
+	// reduces badness in expectation; the budget is generous.
+	budget := 200 * (len(bad) + 1) * (d + 1)
+	for len(bad) > 0 && budget > 0 {
+		budget--
+		// Take an arbitrary still-bad entry (entries may have been healed
+		// by earlier swaps; drop those lazily).
+		bi := bad[len(bad)-1]
+		if !isBad(edges[bi]) {
+			bad = bad[:len(bad)-1]
+			continue
+		}
+		bj := rng.Intn(m)
+		if bj == bi {
+			continue
+		}
+		u, v := edges[bi][0], edges[bi][1]
+		x, y := edges[bj][0], edges[bj][1]
+		if rng.Intn(2) == 1 {
+			x, y = y, x
+		}
+		// Proposed replacement: (u,x) and (v,y).
+		if u == x || v == y {
+			continue
+		}
+		if count[norm([2]int{u, x})] > 0 || count[norm([2]int{v, y})] > 0 {
+			continue
+		}
+		// Remove the two old edges from the multiset, insert the new pair.
+		for _, old := range [][2]int{edges[bi], edges[bj]} {
+			if old[0] != old[1] {
+				count[norm(old)]--
+			}
+		}
+		edges[bi] = [2]int{u, x}
+		edges[bj] = [2]int{v, y}
+		count[norm(edges[bi])]++
+		count[norm(edges[bj])]++
+		if !isBad(edges[bi]) {
+			bad = bad[:len(bad)-1]
+		}
+		// The partner edge was simple before and both new edges were
+		// checked fresh, so no new bad entries appear.
+	}
+	for _, e := range edges {
+		if isBad(e) {
+			return nil, false
+		}
+	}
+	out := make([][2]int, m)
+	for i, e := range edges {
+		out[i] = norm(e)
+	}
+	return out, true
+}
+
+// ErdosRenyi returns a connected Erdős–Rényi G(n,p) graph: edges are sampled
+// independently with probability p, and if the sample is disconnected one
+// bridging edge per extra component is added between uniformly random nodes
+// of adjacent components (so the degree distribution is perturbed only
+// negligibly). This is the "arbitrary graphs" class of Tables 1 and 2, which
+// in particular is non-regular.
+func ErdosRenyi(n int, p float64, rng *rand.Rand) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: erdos-renyi needs n >= 1, got %d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: erdos-renyi probability %v out of [0,1]", p)
+	}
+	edges := make([][2]int, 0, int(float64(n*(n-1)/2)*p)+n)
+	seen := make(map[[2]int]struct{})
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				edges = append(edges, [2]int{u, v})
+				seen[[2]int{u, v}] = struct{}{}
+			}
+		}
+	}
+	g, err := New(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	comps := g.ConnectedComponents()
+	for len(comps) > 1 {
+		a := comps[0][rng.Intn(len(comps[0]))]
+		b := comps[1][rng.Intn(len(comps[1]))]
+		u, v := a, b
+		if u > v {
+			u, v = v, u
+		}
+		if _, dup := seen[[2]int{u, v}]; !dup {
+			edges = append(edges, [2]int{u, v})
+			seen[[2]int{u, v}] = struct{}{}
+		}
+		g, err = New(n, edges)
+		if err != nil {
+			return nil, err
+		}
+		comps = g.ConnectedComponents()
+	}
+	return g, nil
+}
+
+// Lollipop returns a lollipop graph: a clique on cliqueSize nodes with a path
+// of pathLen extra nodes attached to clique node 0. It is a convenient
+// low-expansion, non-regular stress test for discrepancy experiments.
+func Lollipop(cliqueSize, pathLen int) (*Graph, error) {
+	if cliqueSize < 2 || pathLen < 1 {
+		return nil, fmt.Errorf("graph: lollipop needs cliqueSize >= 2 and pathLen >= 1, got %d, %d", cliqueSize, pathLen)
+	}
+	n := cliqueSize + pathLen
+	edges := make([][2]int, 0, cliqueSize*(cliqueSize-1)/2+pathLen)
+	for u := 0; u < cliqueSize; u++ {
+		for v := u + 1; v < cliqueSize; v++ {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	prev := 0
+	for k := 0; k < pathLen; k++ {
+		next := cliqueSize + k
+		edges = append(edges, [2]int{prev, next})
+		prev = next
+	}
+	return New(n, edges)
+}

@@ -1,0 +1,300 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHypercube(t *testing.T) {
+	for dim := 0; dim <= 6; dim++ {
+		g, err := Hypercube(dim)
+		if err != nil {
+			t.Fatalf("Hypercube(%d): %v", dim, err)
+		}
+		if g.N() != 1<<dim {
+			t.Errorf("dim %d: N = %d, want %d", dim, g.N(), 1<<dim)
+		}
+		if g.M() != dim*(1<<dim)/2 {
+			t.Errorf("dim %d: M = %d, want %d", dim, g.M(), dim*(1<<dim)/2)
+		}
+		for i := 0; i < g.N(); i++ {
+			if g.Degree(i) != dim {
+				t.Fatalf("dim %d: Degree(%d) = %d, want %d", dim, i, g.Degree(i), dim)
+			}
+		}
+		if dim > 0 {
+			d, err := g.Diameter()
+			if err != nil {
+				t.Fatalf("diameter: %v", err)
+			}
+			if d != dim {
+				t.Errorf("dim %d: diameter = %d, want %d", dim, d, dim)
+			}
+		}
+	}
+	if _, err := Hypercube(-1); err == nil {
+		t.Error("Hypercube(-1) should error")
+	}
+	if _, err := Hypercube(25); err == nil {
+		t.Error("Hypercube(25) should error")
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g, err := Torus(4, 5)
+	if err != nil {
+		t.Fatalf("Torus(4,5): %v", err)
+	}
+	if g.N() != 20 {
+		t.Errorf("N = %d, want 20", g.N())
+	}
+	if g.M() != 40 {
+		t.Errorf("M = %d, want 40 (2 per node)", g.M())
+	}
+	for i := 0; i < g.N(); i++ {
+		if g.Degree(i) != 4 {
+			t.Fatalf("Degree(%d) = %d, want 4", i, g.Degree(i))
+		}
+	}
+	if !g.IsConnected() {
+		t.Error("torus should be connected")
+	}
+	// 3-dimensional torus.
+	g3, err := Torus(3, 3, 3)
+	if err != nil {
+		t.Fatalf("Torus(3,3,3): %v", err)
+	}
+	if g3.N() != 27 {
+		t.Errorf("3-d torus N = %d, want 27", g3.N())
+	}
+	for i := 0; i < g3.N(); i++ {
+		if g3.Degree(i) != 6 {
+			t.Fatalf("3-d torus Degree(%d) = %d, want 6", i, g3.Degree(i))
+		}
+	}
+	d, err := g3.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 3 {
+		t.Errorf("3x3x3 torus diameter = %d, want 3", d)
+	}
+	if _, err := Torus(); err == nil {
+		t.Error("Torus() with no dims should error")
+	}
+	if _, err := Torus(2, 4); err == nil {
+		t.Error("Torus with side 2 should error")
+	}
+}
+
+func TestTorusDiameterMatchesFormula(t *testing.T) {
+	g, err := Torus(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 6 { // floor(6/2)+floor(6/2)
+		t.Errorf("6x6 torus diameter = %d, want 6", d)
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g, err := Grid2D(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 12 {
+		t.Errorf("N = %d, want 12", g.N())
+	}
+	if g.M() != 3*3+2*4 { // rows*(cols-1) + (rows-1)*cols
+		t.Errorf("M = %d, want 17", g.M())
+	}
+	if g.MaxDegree() != 4 || g.MinDegree() != 2 {
+		t.Errorf("degrees = %d/%d, want 4/2", g.MaxDegree(), g.MinDegree())
+	}
+	if _, err := Grid2D(0, 3); err == nil {
+		t.Error("Grid2D(0,3) should error")
+	}
+}
+
+func TestCyclePathCompleteStar(t *testing.T) {
+	cyc, err := Cycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc.M() != 5 || cyc.MaxDegree() != 2 {
+		t.Errorf("cycle: m=%d d=%d, want 5/2", cyc.M(), cyc.MaxDegree())
+	}
+	if _, err := Cycle(2); err == nil {
+		t.Error("Cycle(2) should error")
+	}
+
+	p, err := Path(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.M() != 3 {
+		t.Errorf("path m = %d, want 3", p.M())
+	}
+	if _, err := Path(0); err == nil {
+		t.Error("Path(0) should error")
+	}
+
+	k, err := Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.M() != 15 || k.MinDegree() != 5 {
+		t.Errorf("K6: m=%d mindeg=%d, want 15/5", k.M(), k.MinDegree())
+	}
+
+	st, err := Star(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Degree(0) != 6 || st.MaxDegree() != 6 || st.MinDegree() != 1 {
+		t.Errorf("star degrees wrong: centre %d max %d min %d", st.Degree(0), st.MaxDegree(), st.MinDegree())
+	}
+	if _, err := Star(1); err == nil {
+		t.Error("Star(1) should error")
+	}
+}
+
+func TestCompleteBinaryTree(t *testing.T) {
+	g, err := CompleteBinaryTree(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 15 || g.M() != 14 {
+		t.Errorf("tree: n=%d m=%d, want 15/14", g.N(), g.M())
+	}
+	if !g.IsConnected() {
+		t.Error("tree should be connected")
+	}
+	if g.Degree(0) != 2 {
+		t.Errorf("root degree = %d, want 2", g.Degree(0))
+	}
+	if _, err := CompleteBinaryTree(-1); err == nil {
+		t.Error("negative depth should error")
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ n, d int }{{16, 3}, {32, 4}, {50, 5}, {64, 3}} {
+		if tc.n*tc.d%2 != 0 {
+			continue
+		}
+		g, err := RandomRegular(tc.n, tc.d, rng)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tc.n, tc.d, err)
+		}
+		for i := 0; i < g.N(); i++ {
+			if g.Degree(i) != tc.d {
+				t.Fatalf("n=%d d=%d: Degree(%d) = %d", tc.n, tc.d, i, g.Degree(i))
+			}
+		}
+		if !g.IsConnected() {
+			t.Errorf("n=%d d=%d: not connected", tc.n, tc.d)
+		}
+	}
+	if _, err := RandomRegular(5, 3, rng); err == nil {
+		t.Error("odd n*d should error")
+	}
+	if _, err := RandomRegular(4, 4, rng); err == nil {
+		t.Error("d >= n should error")
+	}
+	if _, err := RandomRegular(4, 0, rng); err == nil {
+		t.Error("d < 1 should error")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := ErdosRenyi(100, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 {
+		t.Errorf("N = %d, want 100", g.N())
+	}
+	if !g.IsConnected() {
+		t.Error("ErdosRenyi must return a connected graph")
+	}
+	// Even a sparse draw must be connected via bridging edges.
+	sparse, err := ErdosRenyi(50, 0.001, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.IsConnected() {
+		t.Error("sparse ErdosRenyi must still be connected")
+	}
+	if _, err := ErdosRenyi(10, 1.5, rng); err == nil {
+		t.Error("p > 1 should error")
+	}
+	if _, err := ErdosRenyi(0, 0.5, rng); err == nil {
+		t.Error("n = 0 should error")
+	}
+}
+
+func TestLollipop(t *testing.T) {
+	g, err := Lollipop(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 8 {
+		t.Errorf("N = %d, want 8", g.N())
+	}
+	if g.M() != 10+3 {
+		t.Errorf("M = %d, want 13", g.M())
+	}
+	if !g.IsConnected() {
+		t.Error("lollipop should be connected")
+	}
+	if g.Degree(7) != 1 {
+		t.Errorf("path end degree = %d, want 1", g.Degree(7))
+	}
+	if _, err := Lollipop(1, 1); err == nil {
+		t.Error("cliqueSize < 2 should error")
+	}
+}
+
+// TestRandomRegularSimpleProperty checks, over random (n, d, seed) draws,
+// that the generator always yields simple d-regular connected graphs.
+func TestRandomRegularSimpleProperty(t *testing.T) {
+	f := func(seed int64, nRaw, dRaw uint8) bool {
+		n := 10 + int(nRaw)%40
+		d := 3 + int(dRaw)%3
+		if n*d%2 != 0 {
+			n++
+		}
+		rng := rand.New(rand.NewSource(seed))
+		g, err := RandomRegular(n, d, rng)
+		if err != nil {
+			return false
+		}
+		if !g.IsConnected() {
+			return false
+		}
+		seen := map[[2]int]bool{}
+		for _, e := range g.Edges() {
+			if e[0] == e[1] || seen[e] {
+				return false
+			}
+			seen[e] = true
+		}
+		for i := 0; i < g.N(); i++ {
+			if g.Degree(i) != d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

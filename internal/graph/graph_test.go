@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewValidGraph(t *testing.T) {
+	g, err := New(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if g.N() != 4 {
+		t.Errorf("N() = %d, want 4", g.N())
+	}
+	if g.M() != 4 {
+		t.Errorf("M() = %d, want 4", g.M())
+	}
+	for i := 0; i < 4; i++ {
+		if g.Degree(i) != 2 {
+			t.Errorf("Degree(%d) = %d, want 2", i, g.Degree(i))
+		}
+	}
+	if g.MaxDegree() != 2 || g.MinDegree() != 2 {
+		t.Errorf("MaxDegree/MinDegree = %d/%d, want 2/2", g.MaxDegree(), g.MinDegree())
+	}
+}
+
+func TestNewNormalizesEdgeOrder(t *testing.T) {
+	g, err := New(3, [][2]int{{2, 0}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	u, v := g.EdgeEndpoints(0)
+	if u != 0 || v != 2 {
+		t.Errorf("EdgeEndpoints(0) = (%d,%d), want (0,2)", u, v)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		n     int
+		edges [][2]int
+		want  error
+	}{
+		{"empty graph", 0, nil, ErrEmptyGraph},
+		{"negative nodes", -1, nil, ErrEmptyGraph},
+		{"self loop", 3, [][2]int{{1, 1}}, ErrSelfLoop},
+		{"duplicate", 3, [][2]int{{0, 1}, {1, 0}}, ErrDuplicateEdge},
+		{"out of range high", 3, [][2]int{{0, 3}}, ErrNodeRange},
+		{"out of range negative", 3, [][2]int{{-1, 0}}, ErrNodeRange},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.n, tt.edges); !errors.Is(err, tt.want) {
+				t.Errorf("New error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestArcSignsAreConsistent(t *testing.T) {
+	g := MustNew(3, [][2]int{{0, 1}, {1, 2}})
+	for i := 0; i < g.N(); i++ {
+		for _, a := range g.Neighbors(i) {
+			u, v := g.EdgeEndpoints(a.Edge)
+			switch {
+			case i == u && a.To == v:
+				if a.Out != 1 {
+					t.Errorf("arc %d->%d edge %d: Out = %d, want +1", i, a.To, a.Edge, a.Out)
+				}
+			case i == v && a.To == u:
+				if a.Out != -1 {
+					t.Errorf("arc %d->%d edge %d: Out = %d, want -1", i, a.To, a.Edge, a.Out)
+				}
+			default:
+				t.Errorf("arc %d->%d does not match edge %d endpoints (%d,%d)", i, a.To, a.Edge, u, v)
+			}
+		}
+	}
+}
+
+func TestHasEdgeAndEdgeIndex(t *testing.T) {
+	g := MustNew(4, [][2]int{{0, 1}, {2, 3}})
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("HasEdge(0,1) should hold in both orders")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("HasEdge(0,2) should be false")
+	}
+	if g.HasEdge(-1, 0) || g.HasEdge(0, 99) {
+		t.Error("HasEdge out of range should be false")
+	}
+	e, ok := g.EdgeIndex(3, 2)
+	if !ok || e != 1 {
+		t.Errorf("EdgeIndex(3,2) = (%d,%v), want (1,true)", e, ok)
+	}
+	if _, ok := g.EdgeIndex(0, 3); ok {
+		t.Error("EdgeIndex(0,3) should not exist")
+	}
+}
+
+func TestBFSDist(t *testing.T) {
+	g := MustNew(5, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	dist := g.BFSDist(0)
+	want := []int{0, 1, 2, 3, -1}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	conn := MustNew(3, [][2]int{{0, 1}, {1, 2}})
+	if !conn.IsConnected() {
+		t.Error("path should be connected")
+	}
+	disc := MustNew(3, [][2]int{{0, 1}})
+	if disc.IsConnected() {
+		t.Error("graph with isolated node should be disconnected")
+	}
+	single := MustNew(1, nil)
+	if !single.IsConnected() {
+		t.Error("single node should count as connected")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	path := MustNew(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	d, err := path.Diameter()
+	if err != nil {
+		t.Fatalf("Diameter: %v", err)
+	}
+	if d != 3 {
+		t.Errorf("path diameter = %d, want 3", d)
+	}
+	disc := MustNew(2, nil)
+	if _, err := disc.Diameter(); err == nil {
+		t.Error("Diameter of disconnected graph should error")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := MustNew(6, [][2]int{{0, 1}, {2, 3}, {3, 4}})
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	wantSizes := []int{2, 3, 1}
+	for i, w := range wantSizes {
+		if len(comps[i]) != w {
+			t.Errorf("component %d has %d nodes, want %d", i, len(comps[i]), w)
+		}
+	}
+}
+
+func TestEdgesReturnsCopy(t *testing.T) {
+	g := MustNew(3, [][2]int{{0, 1}})
+	edges := g.Edges()
+	edges[0][0] = 99
+	u, _ := g.EdgeEndpoints(0)
+	if u != 0 {
+		t.Error("mutating Edges() result changed graph state")
+	}
+}
+
+func TestDegreesReturnsCopy(t *testing.T) {
+	g := MustNew(3, [][2]int{{0, 1}})
+	deg := g.Degrees()
+	deg[0] = 99
+	if g.Degree(0) != 1 {
+		t.Error("mutating Degrees() result changed graph state")
+	}
+}
+
+func TestMustNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew on invalid input should panic")
+		}
+	}()
+	MustNew(1, [][2]int{{0, 0}})
+}
+
+func TestString(t *testing.T) {
+	g := MustNew(3, [][2]int{{0, 1}, {1, 2}})
+	if got, want := g.String(), "graph(n=3,m=2,d=2)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

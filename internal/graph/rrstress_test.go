@@ -1,0 +1,37 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomRegularFormerlyFlakySeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(-4226838690536793412))
+	g, err := RandomRegular(12, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Error("not connected")
+	}
+}
+
+func TestRandomRegularDenseStress(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + int(seed)%8
+		d := 5
+		if n*d%2 != 0 {
+			n++
+		}
+		g, err := RandomRegular(n, d, rng)
+		if err != nil {
+			t.Fatalf("seed %d n=%d d=%d: %v", seed, n, d, err)
+		}
+		for i := 0; i < g.N(); i++ {
+			if g.Degree(i) != d {
+				t.Fatalf("seed %d: degree %d != %d", seed, g.Degree(i), d)
+			}
+		}
+	}
+}

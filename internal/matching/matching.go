@@ -1,0 +1,211 @@
+// Package matching provides the matchings used by dimension-exchange
+// (matching-model) load balancing: a greedy proper edge colouring whose
+// colour classes form the fixed matchings of the periodic model (Hosseini et
+// al.), and seeded random maximal matchings for the random-matching model
+// (Ghosh and Muthukrishnan).
+package matching
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Matching is a set of pairwise node-disjoint edge indices of some graph.
+type Matching []int
+
+// Validate checks that m is a matching of g: edge indices in range and no
+// shared endpoints.
+func Validate(g *graph.Graph, m Matching) error {
+	used := make(map[int]struct{}, 2*len(m))
+	for _, e := range m {
+		if e < 0 || e >= g.M() {
+			return fmt.Errorf("matching: edge index %d out of range [0,%d)", e, g.M())
+		}
+		u, v := g.EdgeEndpoints(e)
+		if _, dup := used[u]; dup {
+			return fmt.Errorf("matching: node %d matched twice", u)
+		}
+		if _, dup := used[v]; dup {
+			return fmt.Errorf("matching: node %d matched twice", v)
+		}
+		used[u] = struct{}{}
+		used[v] = struct{}{}
+	}
+	return nil
+}
+
+// GreedyEdgeColoring partitions the edges of g into proper colour classes
+// (each class a matching) using the first-fit greedy rule. It uses at most
+// 2*maxdeg-1 colours and covers every edge, which is all the periodic
+// matching model requires: a fixed set of matchings that together cover E.
+func GreedyEdgeColoring(g *graph.Graph) []Matching {
+	if g.M() == 0 {
+		return nil
+	}
+	maxColors := 2*g.MaxDegree() - 1
+	color := make([]int, g.M())
+	for e := range color {
+		color[e] = -1
+	}
+	// usedAt[v] holds, per node, the set of colours already incident to v.
+	usedAt := make([]map[int]struct{}, g.N())
+	for i := range usedAt {
+		usedAt[i] = make(map[int]struct{})
+	}
+	classes := make([]Matching, 0, maxColors)
+	for e := 0; e < g.M(); e++ {
+		u, v := g.EdgeEndpoints(e)
+		c := 0
+		for {
+			_, au := usedAt[u][c]
+			_, av := usedAt[v][c]
+			if !au && !av {
+				break
+			}
+			c++
+		}
+		color[e] = c
+		usedAt[u][c] = struct{}{}
+		usedAt[v][c] = struct{}{}
+		for len(classes) <= c {
+			classes = append(classes, nil)
+		}
+		classes[c] = append(classes[c], e)
+	}
+	return classes
+}
+
+// Schedule yields the matching used at a given round.
+type Schedule interface {
+	// MatchingAt returns the matching active in round t >= 0. The returned
+	// slice must not be modified by the caller.
+	MatchingAt(t int) Matching
+	// Name identifies the schedule kind for reports.
+	Name() string
+}
+
+// Periodic cycles deterministically through a fixed list of matchings:
+// round t uses matchings[t mod len(matchings)].
+type Periodic struct {
+	matchings []Matching
+}
+
+var _ Schedule = (*Periodic)(nil)
+
+// NewPeriodic builds a periodic schedule from explicit matchings. Each must
+// be a valid matching of g and the list must be non-empty.
+func NewPeriodic(g *graph.Graph, matchings []Matching) (*Periodic, error) {
+	if len(matchings) == 0 {
+		return nil, errors.New("matching: periodic schedule needs at least one matching")
+	}
+	own := make([]Matching, len(matchings))
+	for i, m := range matchings {
+		if err := Validate(g, m); err != nil {
+			return nil, fmt.Errorf("matching %d: %w", i, err)
+		}
+		own[i] = append(Matching(nil), m...)
+	}
+	return &Periodic{matchings: own}, nil
+}
+
+// NewPeriodicFromColoring builds the canonical periodic schedule of g from
+// its greedy edge colouring.
+func NewPeriodicFromColoring(g *graph.Graph) (*Periodic, error) {
+	classes := GreedyEdgeColoring(g)
+	if len(classes) == 0 {
+		return nil, errors.New("matching: graph has no edges")
+	}
+	return NewPeriodic(g, classes)
+}
+
+// Period returns the number of matchings in the cycle (the d~ of the paper).
+func (p *Periodic) Period() int { return len(p.matchings) }
+
+// MatchingAt implements Schedule.
+func (p *Periodic) MatchingAt(t int) Matching {
+	if t < 0 {
+		t = 0
+	}
+	return p.matchings[t%len(p.matchings)]
+}
+
+// Name implements Schedule.
+func (p *Periodic) Name() string { return "periodic" }
+
+// Random produces an independent uniform-random maximal matching per round,
+// deterministically derived from (seed, t): the same schedule instance — or
+// two instances with the same seed — return identical matchings for equal t.
+// This determinism is what lets additivity tests couple several process runs
+// on "the same sequence of outcomes", exactly as Definition 3's footnote
+// requires.
+type Random struct {
+	g    *graph.Graph
+	seed int64
+
+	lastT int
+	last  Matching
+	perm  []int
+	used  []bool
+}
+
+var _ Schedule = (*Random)(nil)
+
+// NewRandom builds a random-matching schedule for g with the given seed.
+func NewRandom(g *graph.Graph, seed int64) *Random {
+	return &Random{
+		g:     g,
+		seed:  seed,
+		lastT: -1,
+		perm:  make([]int, g.M()),
+		used:  make([]bool, g.N()),
+	}
+}
+
+// MatchingAt implements Schedule: a maximal matching built by scanning the
+// edges in a uniformly random order (seeded by (seed, t)) and keeping every
+// edge whose endpoints are still free.
+func (r *Random) MatchingAt(t int) Matching {
+	if t < 0 {
+		t = 0
+	}
+	if t == r.lastT {
+		return r.last
+	}
+	rng := rand.New(rand.NewSource(mix(r.seed, int64(t))))
+	for i := range r.perm {
+		r.perm[i] = i
+	}
+	rng.Shuffle(len(r.perm), func(i, j int) { r.perm[i], r.perm[j] = r.perm[j], r.perm[i] })
+	for i := range r.used {
+		r.used[i] = false
+	}
+	m := make(Matching, 0, r.g.N()/2)
+	for _, e := range r.perm {
+		u, v := r.g.EdgeEndpoints(e)
+		if r.used[u] || r.used[v] {
+			continue
+		}
+		r.used[u] = true
+		r.used[v] = true
+		m = append(m, e)
+	}
+	r.lastT = t
+	r.last = m
+	return m
+}
+
+// Name implements Schedule.
+func (r *Random) Name() string { return "random" }
+
+// mix combines a seed and a round counter into a well-spread 63-bit source
+// seed (splitmix64 finalizer).
+func mix(seed, t int64) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(t) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z >> 1)
+}

@@ -1,0 +1,252 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestValidate(t *testing.T) {
+	g := graph.MustNew(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err := Validate(g, Matching{0, 2}); err != nil {
+		t.Errorf("disjoint edges should validate: %v", err)
+	}
+	if err := Validate(g, Matching{0, 1}); err == nil {
+		t.Error("edges sharing node 1 should fail validation")
+	}
+	if err := Validate(g, Matching{99}); err == nil {
+		t.Error("out-of-range edge should fail validation")
+	}
+	if err := Validate(g, nil); err != nil {
+		t.Errorf("empty matching should validate: %v", err)
+	}
+}
+
+func checkProperColoring(t *testing.T, g *graph.Graph, classes []Matching) {
+	t.Helper()
+	covered := make([]bool, g.M())
+	for ci, class := range classes {
+		if err := Validate(g, class); err != nil {
+			t.Fatalf("class %d is not a matching: %v", ci, err)
+		}
+		for _, e := range class {
+			if covered[e] {
+				t.Fatalf("edge %d coloured twice", e)
+			}
+			covered[e] = true
+		}
+	}
+	for e, ok := range covered {
+		if !ok {
+			t.Fatalf("edge %d not covered by any class", e)
+		}
+	}
+	if maxClasses := 2*g.MaxDegree() - 1; len(classes) > maxClasses {
+		t.Errorf("used %d colours, greedy bound is %d", len(classes), maxClasses)
+	}
+}
+
+func TestGreedyEdgeColoring(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"cycle":    mustBuild(t, func() (*graph.Graph, error) { return graph.Cycle(9) }),
+		"complete": mustBuild(t, func() (*graph.Graph, error) { return graph.Complete(7) }),
+		"hyper":    mustBuild(t, func() (*graph.Graph, error) { return graph.Hypercube(4) }),
+		"star":     mustBuild(t, func() (*graph.Graph, error) { return graph.Star(6) }),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			checkProperColoring(t, g, GreedyEdgeColoring(g))
+		})
+	}
+	if classes := GreedyEdgeColoring(graph.MustNew(3, nil)); classes != nil {
+		t.Error("edgeless graph should produce no classes")
+	}
+}
+
+func TestGreedyEdgeColoringProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := graph.ErdosRenyi(24, 0.2, rng)
+		if err != nil {
+			return false
+		}
+		classes := GreedyEdgeColoring(g)
+		covered := make([]bool, g.M())
+		for _, class := range classes {
+			if Validate(g, class) != nil {
+				return false
+			}
+			for _, e := range class {
+				if covered[e] {
+					return false
+				}
+				covered[e] = true
+			}
+		}
+		for _, ok := range covered {
+			if !ok {
+				return false
+			}
+		}
+		return len(classes) <= 2*g.MaxDegree()-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeriodicSchedule(t *testing.T) {
+	g := graph.MustNew(4, [][2]int{{0, 1}, {2, 3}, {1, 2}})
+	p, err := NewPeriodic(g, []Matching{{0, 1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Period() != 2 {
+		t.Errorf("Period = %d, want 2", p.Period())
+	}
+	if p.Name() != "periodic" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	for _, tt := range []struct {
+		t    int
+		want int // length of matching
+	}{{0, 2}, {1, 1}, {2, 2}, {3, 1}, {-1, 2}} {
+		if got := len(p.MatchingAt(tt.t)); got != tt.want {
+			t.Errorf("MatchingAt(%d) has %d edges, want %d", tt.t, got, tt.want)
+		}
+	}
+	if _, err := NewPeriodic(g, nil); err == nil {
+		t.Error("empty matching list should error")
+	}
+	if _, err := NewPeriodic(g, []Matching{{0, 2}}); err == nil {
+		t.Error("invalid matching should error")
+	}
+}
+
+func TestNewPeriodicFromColoring(t *testing.T) {
+	g := graph.MustNew(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	p, err := NewPeriodicFromColoring(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over one period every edge must appear exactly once.
+	seen := make([]int, g.M())
+	for k := 0; k < p.Period(); k++ {
+		for _, e := range p.MatchingAt(k) {
+			seen[e]++
+		}
+	}
+	for e, c := range seen {
+		if c != 1 {
+			t.Errorf("edge %d appears %d times per period, want 1", e, c)
+		}
+	}
+	if _, err := NewPeriodicFromColoring(graph.MustNew(2, nil)); err == nil {
+		t.Error("edgeless graph should error")
+	}
+}
+
+func TestPeriodicCopiesInput(t *testing.T) {
+	g := graph.MustNew(4, [][2]int{{0, 1}, {2, 3}})
+	m := Matching{0}
+	p, err := NewPeriodic(g, []Matching{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m[0] = 1
+	if p.MatchingAt(0)[0] != 0 {
+		t.Error("NewPeriodic must copy the provided matchings")
+	}
+}
+
+func TestRandomScheduleDeterministic(t *testing.T) {
+	g := graph.MustNew(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	a := NewRandom(g, 11)
+	b := NewRandom(g, 11)
+	for round := 0; round < 20; round++ {
+		ma, mb := a.MatchingAt(round), b.MatchingAt(round)
+		if len(ma) != len(mb) {
+			t.Fatalf("round %d: sizes differ", round)
+		}
+		for i := range ma {
+			if ma[i] != mb[i] {
+				t.Fatalf("round %d: matchings differ at %d", round, i)
+			}
+		}
+	}
+	// Re-querying an old round after moving on must reproduce it.
+	m5 := append(Matching(nil), a.MatchingAt(5)...)
+	a.MatchingAt(17)
+	again := a.MatchingAt(5)
+	for i := range m5 {
+		if m5[i] != again[i] {
+			t.Fatal("MatchingAt(5) not reproducible after later queries")
+		}
+	}
+}
+
+func TestRandomScheduleIsMaximalMatching(t *testing.T) {
+	g, err := graph.Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewRandom(g, 99)
+	for round := 0; round < 10; round++ {
+		m := sched.MatchingAt(round)
+		if err := Validate(g, m); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		// Maximality: no remaining edge has both endpoints free.
+		used := make([]bool, g.N())
+		for _, e := range m {
+			u, v := g.EdgeEndpoints(e)
+			used[u], used[v] = true, true
+		}
+		for e := 0; e < g.M(); e++ {
+			u, v := g.EdgeEndpoints(e)
+			if !used[u] && !used[v] {
+				t.Fatalf("round %d: edge %d could extend the matching", round, e)
+			}
+		}
+	}
+}
+
+func TestRandomScheduleVariesAcrossRoundsAndSeeds(t *testing.T) {
+	g, err := graph.Complete(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewRandom(g, 1)
+	diff := false
+	m0 := append(Matching(nil), s1.MatchingAt(0)...)
+	for round := 1; round < 10 && !diff; round++ {
+		m := s1.MatchingAt(round)
+		if len(m) != len(m0) {
+			diff = true
+			break
+		}
+		for i := range m {
+			if m[i] != m0[i] {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Error("random schedule should vary across rounds")
+	}
+	if s1.Name() != "random" {
+		t.Errorf("Name = %q", s1.Name())
+	}
+}
+
+func mustBuild(t *testing.T, f func() (*graph.Graph, error)) *graph.Graph {
+	t.Helper()
+	g, err := f()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

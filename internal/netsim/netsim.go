@@ -1,0 +1,388 @@
+// Package netsim runs Algorithm 1 over a real network stack: every node is
+// a goroutine that talks to its neighbours exclusively through net.Conn
+// links carrying gob-encoded task batches — no shared memory between nodes
+// at all. It is the wire-protocol counterpart of package dist (which
+// exchanges batches through channels) and produces the same task placement,
+// which the tests assert against the centralized implementation.
+//
+// Links are pluggable through the Transport interface: in-memory synchronous
+// pipes (net.Pipe) by default, or TCP over the loopback interface for runs
+// that exercise the OS network stack.
+package netsim
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/load"
+)
+
+const roundingEps = 1e-9
+
+// Transport produces the duplex links nodes communicate over.
+type Transport interface {
+	// Link returns two connected endpoints of a reliable duplex link.
+	Link() (a, b net.Conn, err error)
+	// Close releases transport-wide resources (listeners etc.). Individual
+	// conns are closed by the cluster.
+	Close() error
+}
+
+// PipeTransport links nodes with synchronous in-memory pipes.
+type PipeTransport struct{}
+
+var _ Transport = PipeTransport{}
+
+// Link implements Transport.
+func (PipeTransport) Link() (net.Conn, net.Conn, error) {
+	a, b := net.Pipe()
+	return a, b, nil
+}
+
+// Close implements Transport.
+func (PipeTransport) Close() error { return nil }
+
+// TCPTransport links nodes with TCP connections over the loopback
+// interface.
+type TCPTransport struct {
+	ln net.Listener
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCPTransport opens a loopback listener used to accept one side of
+// every link.
+func NewTCPTransport() (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netsim: listen: %w", err)
+	}
+	return &TCPTransport{ln: ln}, nil
+}
+
+// Link implements Transport: it dials the listener and pairs the accepted
+// conn with the dialled one.
+func (t *TCPTransport) Link() (net.Conn, net.Conn, error) {
+	type accepted struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		conn, err := t.ln.Accept()
+		ch <- accepted{conn: conn, err: err}
+	}()
+	dialled, err := net.Dial("tcp", t.ln.Addr().String())
+	if err != nil {
+		return nil, nil, fmt.Errorf("netsim: dial: %w", err)
+	}
+	acc := <-ch
+	if acc.err != nil {
+		dialled.Close()
+		return nil, nil, fmt.Errorf("netsim: accept: %w", acc.err)
+	}
+	return dialled, acc.conn, nil
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error { return t.ln.Close() }
+
+// frame is the wire message: one round's task batch over one directed link.
+type frame struct {
+	Round int
+	Tasks []load.Task
+}
+
+// link is one node's view of a duplex neighbour connection.
+type link struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Cluster runs Algorithm 1 over network links.
+type Cluster struct {
+	g     *graph.Graph
+	s     load.Speeds
+	wmax  int64
+	tr    Transport
+	nodes []*nodeState
+	round int
+}
+
+// nodeState is the full per-node state (kept separate from the wire helper
+// types above for clarity).
+type nodeState struct {
+	id      int
+	tasks   []load.Task
+	fD      map[int]int64
+	fA      map[int]float64
+	cont    contProcess
+	links   []link
+	dummies int64
+}
+
+// contProcess is the slice of the continuous.Process interface netsim needs;
+// keeping it minimal avoids a hard dependency in the hot path.
+type contProcess interface {
+	Step() flows
+}
+
+// flows is the minimal view of one round's flow set.
+type flows interface {
+	Net(e int) float64
+}
+
+// procAdapter adapts a continuous.Process (whose Step returns a concrete
+// *continuous.Flows) to contProcess.
+type procAdapter struct {
+	step func() flows
+}
+
+func (p procAdapter) Step() flows { return p.step() }
+
+// New builds a network cluster for Algorithm 1. dist is the initial task
+// placement; maker builds each node's continuous replica (same contract as
+// package dist: replicas must be independent); tr provides the links.
+func New(g *graph.Graph, s load.Speeds, taskDist load.TaskDist, maker dist.ProcessMaker, tr Transport) (*Cluster, error) {
+	if g == nil {
+		return nil, errors.New("netsim: nil graph")
+	}
+	if maker == nil {
+		return nil, errors.New("netsim: nil process maker")
+	}
+	if tr == nil {
+		return nil, errors.New("netsim: nil transport")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s) != g.N() {
+		return nil, fmt.Errorf("netsim: speeds length %d != n %d", len(s), g.N())
+	}
+	if len(taskDist) != g.N() {
+		return nil, fmt.Errorf("netsim: task distribution length %d != n %d", len(taskDist), g.N())
+	}
+	if err := taskDist.Validate(); err != nil {
+		return nil, err
+	}
+	x0 := taskDist.Loads().Float()
+
+	// Create one duplex link per edge; endpoint A belongs to U(e).
+	type pair struct{ a, b net.Conn }
+	pairs := make([]pair, g.M())
+	for e := range pairs {
+		a, b, err := tr.Link()
+		if err != nil {
+			return nil, fmt.Errorf("netsim: link for edge %d: %w", e, err)
+		}
+		pairs[e] = pair{a: a, b: b}
+	}
+	c := &Cluster{g: g, s: s.Clone(), wmax: taskDist.MaxWeight(), tr: tr, nodes: make([]*nodeState, g.N())}
+	for i := 0; i < g.N(); i++ {
+		replica, err := maker(x0)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: replica for node %d: %w", i, err)
+		}
+		r := replica
+		nd := &nodeState{
+			id:    i,
+			tasks: append([]load.Task(nil), taskDist[i]...),
+			fD:    make(map[int]int64, g.Degree(i)),
+			fA:    make(map[int]float64, g.Degree(i)),
+			cont:  procAdapter{step: func() flows { return r.Step() }},
+		}
+		for _, arc := range g.Neighbors(i) {
+			conn := pairs[arc.Edge].a
+			if arc.Out < 0 {
+				conn = pairs[arc.Edge].b
+			}
+			nd.links = append(nd.links, link{
+				conn: conn,
+				enc:  gob.NewEncoder(conn),
+				dec:  gob.NewDecoder(conn),
+			})
+			nd.fD[arc.Edge] = 0
+			nd.fA[arc.Edge] = 0
+		}
+		c.nodes[i] = nd
+	}
+	return c, nil
+}
+
+// Step executes one synchronous round over the network. Any I/O or protocol
+// error aborts the round and is returned.
+func (c *Cluster) Step() error {
+	errCh := make(chan error, len(c.nodes))
+	var wg sync.WaitGroup
+	for _, nd := range c.nodes {
+		wg.Add(1)
+		go func(nd *nodeState) {
+			defer wg.Done()
+			if err := nd.step(c.g, c.wmax, c.round); err != nil {
+				errCh <- fmt.Errorf("node %d: %w", nd.id, err)
+			}
+		}(nd)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return err
+	}
+	c.round++
+	return nil
+}
+
+// step is one node's round: advance the replica, decide sends (identical
+// policy to core.FlowImitation with LIFO task picks), then exchange frames.
+// Writes run in their own goroutines because pipe links are synchronous.
+func (nd *nodeState) step(g *graph.Graph, wmax int64, round int) error {
+	fl := nd.cont.Step()
+	neigh := g.Neighbors(nd.id)
+	for _, arc := range neigh {
+		nd.fA[arc.Edge] += fl.Net(arc.Edge)
+	}
+	avail := len(nd.tasks)
+	wmaxF := float64(wmax)
+	batches := make([][]load.Task, len(neigh))
+	for k, arc := range neigh {
+		gap := nd.fA[arc.Edge] - float64(nd.fD[arc.Edge])
+		if arc.Out < 0 {
+			gap = -gap
+		}
+		if gap <= 0 {
+			continue
+		}
+		var sent int64
+		for gap-float64(sent) >= wmaxF-roundingEps {
+			var q load.Task
+			if avail == 0 {
+				q = load.Task{Weight: 1, Dummy: true}
+				nd.dummies++
+			} else {
+				avail--
+				q = nd.tasks[avail]
+				nd.tasks = nd.tasks[:avail]
+			}
+			batches[k] = append(batches[k], q)
+			sent += q.Weight
+		}
+		nd.fD[arc.Edge] += int64(arc.Out) * sent
+	}
+
+	// Concurrent writers per link; the node goroutine reads.
+	var writers sync.WaitGroup
+	writeErrs := make(chan error, len(neigh))
+	for k := range neigh {
+		writers.Add(1)
+		go func(k int) {
+			defer writers.Done()
+			if err := nd.links[k].enc.Encode(frame{Round: round, Tasks: batches[k]}); err != nil {
+				writeErrs <- fmt.Errorf("send to neighbour %d: %w", k, err)
+			}
+		}(k)
+	}
+	var firstErr error
+	for k, arc := range neigh {
+		var in frame
+		if err := nd.links[k].dec.Decode(&in); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("recv from neighbour %d: %w", k, err)
+			}
+			continue
+		}
+		if in.Round != round {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("protocol: got round %d frame, want %d", in.Round, round)
+			}
+			continue
+		}
+		var recv int64
+		for _, q := range in.Tasks {
+			recv += q.Weight
+		}
+		nd.fD[arc.Edge] -= int64(arc.Out) * recv
+		nd.tasks = append(nd.tasks, in.Tasks...)
+	}
+	writers.Wait()
+	close(writeErrs)
+	if firstErr == nil {
+		firstErr = <-writeErrs
+	}
+	return firstErr
+}
+
+// Run executes the given number of rounds, stopping at the first error.
+func (c *Cluster) Run(rounds int) error {
+	for t := 0; t < rounds; t++ {
+		if err := c.Step(); err != nil {
+			return fmt.Errorf("netsim: round %d: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// Close closes every link and the transport.
+func (c *Cluster) Close() error {
+	var firstErr error
+	seen := map[net.Conn]struct{}{}
+	for _, nd := range c.nodes {
+		for _, l := range nd.links {
+			if _, dup := seen[l.conn]; dup {
+				continue
+			}
+			seen[l.conn] = struct{}{}
+			if err := l.conn.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if err := c.tr.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Round returns the number of completed rounds.
+func (c *Cluster) Round() int { return c.round }
+
+// Load returns the per-node total task weight, including dummies.
+func (c *Cluster) Load() load.Vector {
+	x := make(load.Vector, len(c.nodes))
+	for i, nd := range c.nodes {
+		for _, q := range nd.tasks {
+			x[i] += q.Weight
+		}
+	}
+	return x
+}
+
+// LoadExcludingDummies returns the per-node real load.
+func (c *Cluster) LoadExcludingDummies() load.Vector {
+	x := make(load.Vector, len(c.nodes))
+	for i, nd := range c.nodes {
+		for _, q := range nd.tasks {
+			if !q.Dummy {
+				x[i] += q.Weight
+			}
+		}
+	}
+	return x
+}
+
+// DummiesCreated returns the total dummy weight drawn across all nodes.
+func (c *Cluster) DummiesCreated() int64 {
+	var total int64
+	for _, nd := range c.nodes {
+		total += nd.dummies
+	}
+	return total
+}
+
+// Speeds returns the node speeds.
+func (c *Cluster) Speeds() load.Speeds { return c.s }

@@ -1,0 +1,189 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/continuous"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/workload"
+)
+
+func setup(t *testing.T) (*graph.Graph, load.Speeds, continuous.Alphas, load.TaskDist) {
+	t.Helper()
+	g, err := graph.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := load.UniformSpeeds(g.N())
+	a, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0, err := workload.PointMass(g.N(), 32*int64(g.N()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := load.NewTokens(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s, a, d
+}
+
+func TestNewValidation(t *testing.T) {
+	g, s, a, d := setup(t)
+	maker := dist.FOSMaker(g, s, a)
+	if _, err := New(nil, s, d, maker, PipeTransport{}); err == nil {
+		t.Error("nil graph should error")
+	}
+	if _, err := New(g, s, d, nil, PipeTransport{}); err == nil {
+		t.Error("nil maker should error")
+	}
+	if _, err := New(g, s, d, maker, nil); err == nil {
+		t.Error("nil transport should error")
+	}
+	if _, err := New(g, s[:2], d, maker, PipeTransport{}); err == nil {
+		t.Error("short speeds should error")
+	}
+}
+
+// TestPipeEquivalenceWithCentralized: the wire-protocol run over in-memory
+// pipes matches the centralized Algorithm 1 exactly.
+func TestPipeEquivalenceWithCentralized(t *testing.T) {
+	g, s, a, d := setup(t)
+	maker := dist.FOSMaker(g, s, a)
+	c, err := New(g, s, d, maker, PipeTransport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	central, err := core.NewFlowImitation(g, s, d, continuous.Factory(maker), core.PolicyLIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 80; round++ {
+		if err := c.Step(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		central.Step()
+		nl, cl := c.Load(), central.Load()
+		for i := range nl {
+			if nl[i] != cl[i] {
+				t.Fatalf("round %d node %d: netsim %d vs centralized %d", round, i, nl[i], cl[i])
+			}
+		}
+	}
+	if c.DummiesCreated() != central.DummiesCreated() {
+		t.Errorf("dummies: %d vs %d", c.DummiesCreated(), central.DummiesCreated())
+	}
+	if c.Round() != 80 {
+		t.Errorf("Round = %d", c.Round())
+	}
+}
+
+// TestTCPEquivalence runs a smaller instance over real loopback TCP.
+func TestTCPEquivalence(t *testing.T) {
+	g, err := graph.Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := load.UniformSpeeds(g.N())
+	a, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0, err := workload.PointMass(g.N(), 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := load.NewTokens(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTCPTransport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	maker := dist.FOSMaker(g, s, a)
+	c, err := New(g, s, d, maker, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	central, err := core.NewFlowImitation(g, s, d, continuous.Factory(maker), core.PolicyLIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 30; round++ {
+		central.Step()
+	}
+	nl, cl := c.Load(), central.Load()
+	for i := range nl {
+		if nl[i] != cl[i] {
+			t.Fatalf("node %d: netsim-tcp %d vs centralized %d", i, nl[i], cl[i])
+		}
+	}
+}
+
+// TestWeightedTasksOverPipes: the gob protocol carries weighted (and dummy)
+// tasks faithfully.
+func TestWeightedTasksOverPipes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := graph.Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := workload.RandomSpeeds(g.N(), 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := workload.PointMassWeightedTasks(g.N(), 100, 0, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := d.Loads().Total()
+	c, err := New(g, s, d, dist.FOSMaker(g, s, a), PipeTransport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Load().Total(); got != total+c.DummiesCreated() {
+		t.Errorf("conservation: %d != %d + %d", got, total, c.DummiesCreated())
+	}
+	if real := c.LoadExcludingDummies().Total(); real != total {
+		t.Errorf("real load %d != %d", real, total)
+	}
+}
+
+// TestCloseIsIdempotentEnough: closing after a run returns without hanging
+// and a second Step after Close errors rather than deadlocking.
+func TestCloseThenStepErrors(t *testing.T) {
+	g, s, a, d := setup(t)
+	c, err := New(g, s, d, dist.FOSMaker(g, s, a), PipeTransport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(); err == nil {
+		t.Error("Step after Close should error")
+	}
+}

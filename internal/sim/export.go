@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// exportResult is the stable JSON shape of a Result.
+type exportResult struct {
+	Name         string        `json:"name"`
+	Rounds       int           `json:"rounds"`
+	MaxMin       float64       `json:"maxMinDiscrepancy"`
+	MaxAvg       float64       `json:"maxAvgDiscrepancy"`
+	Dummies      int64         `json:"dummyWeightCreated"`
+	WentNegative bool          `json:"wentNegative"`
+	FinalLoad    []int64       `json:"finalLoad,omitempty"`
+	Trace        []exportPoint `json:"trace,omitempty"`
+}
+
+type exportPoint struct {
+	Round   int     `json:"round"`
+	MaxMin  float64 `json:"maxMinDiscrepancy"`
+	MaxAvg  float64 `json:"maxAvgDiscrepancy"`
+	Dummies int64   `json:"dummyWeightCreated"`
+}
+
+// WriteJSON serializes the result to w as indented JSON. includeLoad
+// controls whether the full final load vector is embedded (it can be large).
+func (r Result) WriteJSON(w io.Writer, includeLoad bool) error {
+	out := exportResult{
+		Name:         r.Name,
+		Rounds:       r.Rounds,
+		MaxMin:       r.MaxMin,
+		MaxAvg:       r.MaxAvg,
+		Dummies:      r.Dummies,
+		WentNegative: r.WentNegative,
+	}
+	if includeLoad {
+		out.FinalLoad = r.FinalLoad
+	}
+	for _, p := range r.Trace {
+		out.Trace = append(out.Trace, exportPoint{
+			Round:   p.Round,
+			MaxMin:  p.MaxMin,
+			MaxAvg:  p.MaxAvg,
+			Dummies: p.Dummies,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("sim: encode result: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/load"
+)
+
+func TestWriteJSON(t *testing.T) {
+	res := Result{
+		Name:      "alg1(fos)",
+		Rounds:    42,
+		MaxMin:    3.5,
+		MaxAvg:    2,
+		Dummies:   7,
+		FinalLoad: load.Vector{1, 2, 3},
+		Trace:     []TracePoint{{Round: 10, MaxMin: 9, MaxAvg: 5, Dummies: 1}},
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if got["name"] != "alg1(fos)" {
+		t.Errorf("name = %v", got["name"])
+	}
+	if got["rounds"].(float64) != 42 {
+		t.Errorf("rounds = %v", got["rounds"])
+	}
+	if got["maxMinDiscrepancy"].(float64) != 3.5 {
+		t.Errorf("maxMin = %v", got["maxMinDiscrepancy"])
+	}
+	if _, ok := got["finalLoad"]; !ok {
+		t.Error("finalLoad missing with includeLoad=true")
+	}
+	trace, ok := got["trace"].([]any)
+	if !ok || len(trace) != 1 {
+		t.Fatalf("trace = %v", got["trace"])
+	}
+
+	// Without load.
+	buf.Reset()
+	if err := res.WriteJSON(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	var lean map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &lean); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lean["finalLoad"]; ok {
+		t.Error("finalLoad present with includeLoad=false")
+	}
+}

@@ -1,0 +1,177 @@
+// Package sim runs discrete load balancing processes for a prescribed number
+// of rounds (typically the continuous balancing time T^A), records
+// discrepancy traces, and aggregates repeated seeded trials of randomized
+// schemes into the max/mean statistics the experiments report.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/continuous"
+	"repro/internal/load"
+)
+
+// Discrete is the common surface of every discrete balancing process in this
+// repository (package core's Algorithms 1 and 2 and package baseline's prior
+// schemes).
+type Discrete interface {
+	// Name identifies the scheme for reports.
+	Name() string
+	// Step executes one synchronous round.
+	Step()
+	// Load returns a copy of the current integer load vector.
+	Load() load.Vector
+	// Round returns the index of the next round to execute.
+	Round() int
+	// Speeds returns the node speeds.
+	Speeds() load.Speeds
+	// DummiesCreated returns the total weight drawn from an infinite
+	// source so far (0 for schemes without one).
+	DummiesCreated() int64
+	// WentNegative reports whether any node ever held negative load.
+	WentNegative() bool
+}
+
+// dummyExcluder is implemented by Algorithm 1, whose task objects let us
+// eliminate dummy tokens exactly when measuring real load.
+type dummyExcluder interface {
+	LoadExcludingDummies() load.Vector
+}
+
+// TracePoint is one sampled point of a run.
+type TracePoint struct {
+	Round   int
+	MaxMin  float64
+	MaxAvg  float64
+	Dummies int64
+}
+
+// Result summarizes one run of a discrete process.
+type Result struct {
+	// Name of the scheme.
+	Name string
+	// Rounds actually executed.
+	Rounds int
+	// FinalLoad is the load vector after the last round (dummies included).
+	FinalLoad load.Vector
+	// MaxMin is the final max-min discrepancy (max makespan − min makespan),
+	// measured on the real load (dummies eliminated) when the scheme allows
+	// it, otherwise on the full load.
+	MaxMin float64
+	// MaxAvg is the final max-avg discrepancy relative to the real total
+	// weight W/S.
+	MaxAvg float64
+	// Dummies is the total dummy weight created.
+	Dummies int64
+	// WentNegative reports whether the scheme ever drove a node negative.
+	WentNegative bool
+	// Trace holds sampled discrepancies (empty unless requested).
+	Trace []TracePoint
+}
+
+// Options configures a run.
+type Options struct {
+	// Rounds is the number of rounds to execute (required, >= 0).
+	Rounds int
+	// RealTotal is W, the total real task weight, used as the max-avg
+	// reference. If zero it is taken from the initial load of the process.
+	RealTotal int64
+	// TraceEvery samples the discrepancy every TraceEvery rounds when
+	// positive (plus the final round).
+	TraceEvery int
+}
+
+// Run executes p for opts.Rounds rounds and summarizes the outcome.
+func Run(p Discrete, opts Options) (Result, error) {
+	if p == nil {
+		return Result{}, errors.New("sim: nil process")
+	}
+	if opts.Rounds < 0 {
+		return Result{}, fmt.Errorf("sim: negative round count %d", opts.Rounds)
+	}
+	s := p.Speeds()
+	realTotal := opts.RealTotal
+	if realTotal == 0 {
+		realTotal = p.Load().Total()
+	}
+	res := Result{Name: p.Name(), Rounds: opts.Rounds}
+	for t := 0; t < opts.Rounds; t++ {
+		p.Step()
+		if opts.TraceEvery > 0 && (t%opts.TraceEvery == 0 || t == opts.Rounds-1) {
+			point, err := measure(p, s, realTotal)
+			if err != nil {
+				return Result{}, err
+			}
+			point.Round = t + 1
+			res.Trace = append(res.Trace, point)
+		}
+	}
+	final, err := measure(p, s, realTotal)
+	if err != nil {
+		return Result{}, err
+	}
+	res.FinalLoad = p.Load()
+	res.MaxMin = final.MaxMin
+	res.MaxAvg = final.MaxAvg
+	res.Dummies = p.DummiesCreated()
+	res.WentNegative = p.WentNegative()
+	return res, nil
+}
+
+// measure computes the current discrepancies of p, eliminating dummy tokens
+// when the process supports it.
+func measure(p Discrete, s load.Speeds, realTotal int64) (TracePoint, error) {
+	x := p.Load()
+	if ex, ok := p.(dummyExcluder); ok {
+		x = ex.LoadExcludingDummies()
+	}
+	maxMin, err := load.MaxMinDiscrepancy(x, s)
+	if err != nil {
+		return TracePoint{}, err
+	}
+	maxAvg, err := load.MaxAvgDiscrepancy(x, s, realTotal)
+	if err != nil {
+		return TracePoint{}, err
+	}
+	return TracePoint{MaxMin: maxMin, MaxAvg: maxAvg, Dummies: p.DummiesCreated()}, nil
+}
+
+// TimeToBalance builds a probe instance of the continuous process from x0
+// via factory and returns its balancing time T (first round with
+// |x_i − W·s_i/S| <= 1 everywhere), up to maxRounds.
+func TimeToBalance(factory continuous.Factory, x0 []float64, maxRounds int) (int, error) {
+	probe, err := factory(x0)
+	if err != nil {
+		return 0, fmt.Errorf("sim: build probe process: %w", err)
+	}
+	return continuous.BalancingTime(probe, maxRounds)
+}
+
+// Stats aggregates a statistic over repeated trials.
+type Stats struct {
+	Trials int
+	Mean   float64
+	Max    float64
+	Min    float64
+}
+
+// Aggregate computes Stats over values.
+func Aggregate(values []float64) Stats {
+	if len(values) == 0 {
+		return Stats{}
+	}
+	st := Stats{Trials: len(values), Min: values[0], Max: values[0]}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+		if v > st.Max {
+			st.Max = v
+		}
+		if v < st.Min {
+			st.Min = v
+		}
+	}
+	st.Mean = sum / float64(len(values))
+	return st
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/continuous"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/workload"
+)
+
+func torusSetup(t *testing.T) (*graph.Graph, load.Speeds, continuous.Alphas, load.Vector) {
+	t.Helper()
+	g, err := graph.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := load.UniformSpeeds(g.N())
+	a, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0, err := workload.PointMass(g.N(), 1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s, a, x0
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, Options{Rounds: 1}); err == nil {
+		t.Error("nil process should error")
+	}
+	g, s, a, x0 := torusSetup(t)
+	p, err := baseline.NewRoundDownDiffusion(g, s, a, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(p, Options{Rounds: -1}); err == nil {
+		t.Error("negative rounds should error")
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	g, s, a, x0 := torusSetup(t)
+	p, err := baseline.NewRoundDownDiffusion(g, s, a, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Options{Rounds: 50, TraceEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 50 {
+		t.Errorf("Rounds = %d", res.Rounds)
+	}
+	if res.Name != p.Name() {
+		t.Errorf("Name = %q", res.Name)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("trace requested but empty")
+	}
+	last := res.Trace[len(res.Trace)-1]
+	if last.Round != 50 {
+		t.Errorf("last trace round = %d, want 50", last.Round)
+	}
+	if res.FinalLoad.Total() != 1024 {
+		t.Errorf("final total = %d", res.FinalLoad.Total())
+	}
+	if res.MaxMin < 0 || res.MaxAvg < 0 {
+		t.Errorf("discrepancies negative: %v %v", res.MaxMin, res.MaxAvg)
+	}
+	// Discrepancy should shrink monotonically-ish from the point mass;
+	// at least the last trace point must improve on the first.
+	if res.Trace[0].MaxMin <= res.MaxMin {
+		t.Errorf("no improvement: first %v, final %v", res.Trace[0].MaxMin, res.MaxMin)
+	}
+}
+
+func TestRunZeroRounds(t *testing.T) {
+	g, s, a, x0 := torusSetup(t)
+	p, err := baseline.NewRoundDownDiffusion(g, s, a, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Options{Rounds: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point mass: max makespan = 1024, average = 64 => max-avg = 960.
+	if math.Abs(res.MaxAvg-960) > 1e-9 {
+		t.Errorf("MaxAvg = %v, want 960", res.MaxAvg)
+	}
+}
+
+// TestRunExcludesDummiesForAlg1: the measured discrepancy of Algorithm 1
+// must be computed on the dummy-eliminated load.
+func TestRunExcludesDummiesForAlg1(t *testing.T) {
+	g, s, _, x0 := torusSetup(t)
+	dist, err := load.NewTokens(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, err := continuous.DefaultAlphas(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewFlowImitation(g, s, dist, continuous.FOSFactory(g, s, alpha), core.PolicyLIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Options{Rounds: 120, RealTotal: x0.Total()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := load.MaxMinDiscrepancy(p.LoadExcludingDummies(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxMin != want {
+		t.Errorf("MaxMin = %v, want dummy-excluded %v", res.MaxMin, want)
+	}
+}
+
+func TestTimeToBalance(t *testing.T) {
+	g, s, a, x0 := torusSetup(t)
+	factory := continuous.FOSFactory(g, s, a)
+	bt, err := TimeToBalance(factory, x0.Float(), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt <= 0 {
+		t.Errorf("T = %d, want positive for a point mass", bt)
+	}
+	if _, err := TimeToBalance(factory, x0.Float(), 1); err == nil {
+		t.Error("tiny budget should error")
+	}
+	badFactory := func(x []float64) (continuous.Process, error) {
+		return continuous.NewFOS(g, s, a, x[:1])
+	}
+	if _, err := TimeToBalance(badFactory, x0.Float(), 10); err == nil {
+		t.Error("factory failure should propagate")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	st := Aggregate([]float64{2, 4, 9})
+	if st.Trials != 3 || st.Min != 2 || st.Max != 9 || math.Abs(st.Mean-5) > 1e-12 {
+		t.Errorf("Aggregate = %+v", st)
+	}
+	empty := Aggregate(nil)
+	if empty.Trials != 0 {
+		t.Errorf("empty Aggregate = %+v", empty)
+	}
+}

@@ -1,0 +1,174 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+const tol = 1e-3
+
+func TestPowerDeflatedDiagonal(t *testing.T) {
+	// Operator diag(3, 2, 1); top eigenvector e0 deflated => expect 2.
+	matvec := func(dst, src []float64) {
+		dst[0] = 3 * src[0]
+		dst[1] = 2 * src[1]
+		dst[2] = 1 * src[2]
+	}
+	q := []float64{1, 0, 0}
+	got, err := PowerDeflated(3, matvec, q, 500, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > tol {
+		t.Errorf("second eigenvalue = %v, want 2", got)
+	}
+}
+
+func TestPowerDeflatedNegativeEigenvalue(t *testing.T) {
+	// diag(1, -0.9, 0.2) with e0 deflated: largest |λ| among the rest is 0.9.
+	matvec := func(dst, src []float64) {
+		dst[0] = src[0]
+		dst[1] = -0.9 * src[1]
+		dst[2] = 0.2 * src[2]
+	}
+	q := []float64{1, 0, 0}
+	got, err := PowerDeflated(3, matvec, q, 800, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.9) > tol {
+		t.Errorf("|λ2| = %v, want 0.9", got)
+	}
+}
+
+func TestPowerDeflatedErrors(t *testing.T) {
+	matvec := func(dst, src []float64) { copy(dst, src) }
+	if _, err := PowerDeflated(0, matvec, nil, 10, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := PowerDeflated(2, matvec, []float64{1}, 10, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("mismatched deflation vector should error")
+	}
+	got, err := PowerDeflated(1, matvec, []float64{1}, 10, rand.New(rand.NewSource(1)))
+	if err != nil || got != 0 {
+		t.Errorf("n=1 should return 0, got (%v, %v)", got, err)
+	}
+}
+
+// cycleDiffusionLambda is the exact second eigenvalue of the cycle's
+// diffusion matrix with uniform alpha = 1/3 (degree 2, so α = 1/(d+1)):
+// eigenvalues are 1/3 + (2/3)cos(2πk/n).
+func cycleDiffusionLambda(n int) float64 {
+	return 1.0/3 + 2.0/3*math.Cos(2*math.Pi/float64(n))
+}
+
+func TestSecondEigenvalueReversibleCycle(t *testing.T) {
+	const n = 16
+	g, err := graph.Cycle(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyP := func(dst, src []float64) {
+		for i := 0; i < n; i++ {
+			acc := src[i] / 3
+			for _, a := range g.Neighbors(i) {
+				acc += src[a.To] / 3
+			}
+			dst[i] = acc
+		}
+	}
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1
+	}
+	got, err := SecondEigenvalueReversible(n, applyP, pi, 3000, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cycleDiffusionLambda(n)
+	if math.Abs(got-want) > tol {
+		t.Errorf("λ2 = %v, want %v", got, want)
+	}
+}
+
+func TestSecondEigenvalueReversibleBadPi(t *testing.T) {
+	applyP := func(dst, src []float64) { copy(dst, src) }
+	if _, err := SecondEigenvalueReversible(2, applyP, []float64{1, 0}, 10, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("non-positive pi entry should error")
+	}
+	if _, err := SecondEigenvalueReversible(2, applyP, []float64{1}, 10, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("short pi should error")
+	}
+}
+
+func TestLaplacianSecondSmallest(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() (*graph.Graph, error)
+		want  float64
+	}{
+		{"K8", func() (*graph.Graph, error) { return graph.Complete(8) }, 8},
+		{"hypercube-4", func() (*graph.Graph, error) { return graph.Hypercube(4) }, 2},
+		{"cycle-12", func() (*graph.Graph, error) { return graph.Cycle(12) },
+			2 - 2*math.Cos(2*math.Pi/12)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, err := tt.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := LaplacianSecondSmallest(g, 4000, rand.New(rand.NewSource(4)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tt.want) > 5e-3 {
+				t.Errorf("γ = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLaplacianSingleNode(t *testing.T) {
+	g := graph.MustNew(1, nil)
+	got, err := LaplacianSecondSmallest(g, 10, rand.New(rand.NewSource(1)))
+	if err != nil || got != 0 {
+		t.Errorf("single node γ = (%v, %v), want (0, nil)", got, err)
+	}
+}
+
+func TestOptimalSOSBeta(t *testing.T) {
+	got, err := OptimalSOSBeta(0)
+	if err != nil || math.Abs(got-1) > 1e-12 {
+		t.Errorf("β*(0) = (%v, %v), want 1", got, err)
+	}
+	got, err = OptimalSOSBeta(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 / (1 + math.Sqrt(1-0.64))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("β*(0.8) = %v, want %v", got, want)
+	}
+	if _, err := OptimalSOSBeta(1); err == nil {
+		t.Error("λ = 1 should error")
+	}
+	if _, err := OptimalSOSBeta(-0.1); err == nil {
+		t.Error("λ < 0 should error")
+	}
+	// β* is increasing in λ and stays in (1, 2).
+	prev := 1.0
+	for _, lam := range []float64{0.1, 0.5, 0.9, 0.99, 0.9999} {
+		b, err := OptimalSOSBeta(lam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b <= prev || b >= 2 {
+			t.Errorf("β*(%v) = %v not increasing within (1,2)", lam, b)
+		}
+		prev = b
+	}
+}

@@ -1,0 +1,195 @@
+// Package workload generates initial load distributions for experiments: the
+// adversarial point mass that maximizes initial discrepancy K, uniform random
+// placements, bipartition loads, skewed (power-law-like) loads, weighted task
+// sets, heterogeneous speed profiles, and the "+ℓ·s_i floor" shift that
+// realizes the sufficient-initial-load condition of Theorems 3(2) and 8(2).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/load"
+)
+
+// PointMass places all m tokens on the given node. This is the classic
+// worst-case start (initial discrepancy K = m).
+func PointMass(n int, m int64, node int) (load.Vector, error) {
+	if node < 0 || node >= n {
+		return nil, fmt.Errorf("workload: node %d out of range [0,%d)", node, n)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("workload: negative total load %d", m)
+	}
+	x := make(load.Vector, n)
+	x[node] = m
+	return x, nil
+}
+
+// UniformRandom throws m tokens independently and uniformly onto n nodes.
+func UniformRandom(n int, m int64, rng *rand.Rand) load.Vector {
+	x := make(load.Vector, n)
+	for k := int64(0); k < m; k++ {
+		x[rng.Intn(n)]++
+	}
+	return x
+}
+
+// Bipartition places all m tokens spread evenly on the nodes within BFS
+// distance radius of node 0 — a smooth version of the adversarial "one side
+// of the cut is full" start used in lower-bound constructions.
+func Bipartition(g *graph.Graph, m int64, radius int) load.Vector {
+	dist := g.BFSDist(0)
+	var members []int
+	for i, d := range dist {
+		if d >= 0 && d <= radius {
+			members = append(members, i)
+		}
+	}
+	x := make(load.Vector, g.N())
+	if len(members) == 0 {
+		x[0] = m
+		return x
+	}
+	per := m / int64(len(members))
+	rem := m % int64(len(members))
+	for k, i := range members {
+		x[i] = per
+		if int64(k) < rem {
+			x[i]++
+		}
+	}
+	return x
+}
+
+// Skewed assigns node i a load proportional to 1/(i+1) (a Zipf-like profile),
+// scaled so the total is exactly m.
+func Skewed(n int, m int64) load.Vector {
+	weights := make([]float64, n)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+		total += weights[i]
+	}
+	x := make(load.Vector, n)
+	var assigned int64
+	for i := range x {
+		x[i] = int64(float64(m) * weights[i] / total)
+		assigned += x[i]
+	}
+	// Distribute the rounding remainder to the heaviest nodes.
+	for i := 0; assigned < m; i = (i + 1) % n {
+		x[i]++
+		assigned++
+	}
+	return x
+}
+
+// AddFloor returns x shifted by ℓ·s_i on every node: the decomposition
+// x' + ℓ·(s_1..s_n) used by the max-min discrepancy parts of Theorems 3
+// and 8.
+func AddFloor(x load.Vector, s load.Speeds, ell int64) (load.Vector, error) {
+	if len(x) != len(s) {
+		return nil, fmt.Errorf("workload: vector length %d != speeds length %d", len(x), len(s))
+	}
+	out := x.Clone()
+	for i := range out {
+		out[i] += ell * s[i]
+	}
+	return out, nil
+}
+
+// RandomWeightedTasks builds numTasks tasks with weights drawn uniformly from
+// {1..wmax} and assigns each to a uniformly random node.
+func RandomWeightedTasks(n, numTasks int, wmax int64, rng *rand.Rand) (load.TaskDist, error) {
+	if wmax < 1 {
+		return nil, fmt.Errorf("workload: wmax %d must be >= 1", wmax)
+	}
+	d := make(load.TaskDist, n)
+	for k := 0; k < numTasks; k++ {
+		i := rng.Intn(n)
+		d[i] = append(d[i], load.Task{Weight: 1 + rng.Int63n(wmax)})
+	}
+	return d, nil
+}
+
+// PointMassWeightedTasks puts numTasks tasks of uniformly random weight in
+// {1..wmax} all on a single node.
+func PointMassWeightedTasks(n, numTasks, node int, wmax int64, rng *rand.Rand) (load.TaskDist, error) {
+	if node < 0 || node >= n {
+		return nil, fmt.Errorf("workload: node %d out of range [0,%d)", node, n)
+	}
+	if wmax < 1 {
+		return nil, fmt.Errorf("workload: wmax %d must be >= 1", wmax)
+	}
+	d := make(load.TaskDist, n)
+	d[node] = make([]load.Task, numTasks)
+	for k := range d[node] {
+		d[node][k] = load.Task{Weight: 1 + rng.Int63n(wmax)}
+	}
+	return d, nil
+}
+
+// FloorTasks returns dist with ℓ·s_i extra unit-weight tasks added to every
+// node, the task-level analogue of AddFloor.
+func FloorTasks(dist load.TaskDist, s load.Speeds, ell int64) (load.TaskDist, error) {
+	if len(dist) != len(s) {
+		return nil, fmt.Errorf("workload: dist length %d != speeds length %d", len(dist), len(s))
+	}
+	out := dist.Clone()
+	for i := range out {
+		for k := int64(0); k < ell*s[i]; k++ {
+			out[i] = append(out[i], load.Task{Weight: 1})
+		}
+	}
+	return out, nil
+}
+
+// DummyFloorTasks returns dist with ℓ·s_i extra unit-weight tasks added to
+// every node, marked as dummy tokens. This realizes the proof device of
+// Theorem 3 part (1) and Theorem 8 part (1): the algorithm pre-loads
+// d·s_i·wmax (resp. (d/4+2c√(d log n))·s_i) dummy tokens, balances, and the
+// dummies are "simply ignored" at the end — LoadsExcludingDummies then
+// measures exactly the paper's max-avg quantity.
+func DummyFloorTasks(dist load.TaskDist, s load.Speeds, ell int64) (load.TaskDist, error) {
+	if len(dist) != len(s) {
+		return nil, fmt.Errorf("workload: dist length %d != speeds length %d", len(dist), len(s))
+	}
+	out := dist.Clone()
+	for i := range out {
+		for k := int64(0); k < ell*s[i]; k++ {
+			out[i] = append(out[i], load.Task{Weight: 1, Dummy: true})
+		}
+	}
+	return out, nil
+}
+
+// RandomSpeeds draws speeds uniformly from {1..maxSpeed}.
+func RandomSpeeds(n int, maxSpeed int64, rng *rand.Rand) (load.Speeds, error) {
+	if maxSpeed < 1 {
+		return nil, fmt.Errorf("workload: maxSpeed %d must be >= 1", maxSpeed)
+	}
+	s := make(load.Speeds, n)
+	for i := range s {
+		s[i] = 1 + rng.Int63n(maxSpeed)
+	}
+	return s, nil
+}
+
+// TieredSpeeds assigns speed fast to the first n/2 nodes and 1 to the rest,
+// modelling a two-tier heterogeneous cluster.
+func TieredSpeeds(n int, fast int64) (load.Speeds, error) {
+	if fast < 1 {
+		return nil, fmt.Errorf("workload: fast speed %d must be >= 1", fast)
+	}
+	s := make(load.Speeds, n)
+	for i := range s {
+		if i < n/2 {
+			s[i] = fast
+		} else {
+			s[i] = 1
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/load"
+)
+
+func TestPointMass(t *testing.T) {
+	x, err := PointMass(4, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Total() != 100 || x[2] != 100 {
+		t.Errorf("PointMass = %v", x)
+	}
+	if _, err := PointMass(4, 10, 4); err == nil {
+		t.Error("node out of range should error")
+	}
+	if _, err := PointMass(4, -1, 0); err == nil {
+		t.Error("negative load should error")
+	}
+}
+
+func TestUniformRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := UniformRandom(8, 1000, rng)
+	if x.Total() != 1000 {
+		t.Errorf("Total = %d, want 1000", x.Total())
+	}
+	if x.HasNegative() {
+		t.Error("uniform random should be non-negative")
+	}
+	nonzero := 0
+	for _, v := range x {
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 2 {
+		t.Error("1000 tokens over 8 nodes should hit several nodes")
+	}
+}
+
+func TestBipartition(t *testing.T) {
+	g, err := graph.Path(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := Bipartition(g, 90, 2) // nodes 0,1,2 within radius 2
+	if x.Total() != 90 {
+		t.Errorf("Total = %d, want 90", x.Total())
+	}
+	if x[0] != 30 || x[1] != 30 || x[2] != 30 {
+		t.Errorf("Bipartition = %v, want 30 on nodes 0..2", x)
+	}
+	if x[3] != 0 || x[5] != 0 {
+		t.Errorf("nodes outside radius should be empty: %v", x)
+	}
+	// Remainder distribution.
+	y := Bipartition(g, 10, 1) // nodes 0,1 => 5 each
+	if y[0]+y[1] != 10 {
+		t.Errorf("remainder not distributed: %v", y)
+	}
+}
+
+func TestSkewed(t *testing.T) {
+	x := Skewed(5, 100)
+	if x.Total() != 100 {
+		t.Errorf("Total = %d, want 100", x.Total())
+	}
+	if x[0] < x[4] {
+		t.Errorf("Skewed should be non-increasing-ish: %v", x)
+	}
+}
+
+func TestAddFloor(t *testing.T) {
+	s := load.Speeds{1, 2}
+	out, err := AddFloor(load.Vector{5, 0}, s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 8 || out[1] != 6 {
+		t.Errorf("AddFloor = %v, want [8 6]", out)
+	}
+	if _, err := AddFloor(load.Vector{1}, s, 1); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestRandomWeightedTasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d, err := RandomWeightedTasks(6, 200, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CountTasks() != 200 {
+		t.Errorf("CountTasks = %d, want 200", d.CountTasks())
+	}
+	for _, tasks := range d {
+		for _, task := range tasks {
+			if task.Weight < 1 || task.Weight > 5 {
+				t.Fatalf("task weight %d out of [1,5]", task.Weight)
+			}
+		}
+	}
+	if _, err := RandomWeightedTasks(6, 10, 0, rng); err == nil {
+		t.Error("wmax < 1 should error")
+	}
+}
+
+func TestPointMassWeightedTasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d, err := PointMassWeightedTasks(5, 40, 1, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d[1]) != 40 {
+		t.Errorf("node 1 has %d tasks, want 40", len(d[1]))
+	}
+	for i, tasks := range d {
+		if i != 1 && len(tasks) != 0 {
+			t.Errorf("node %d should be empty", i)
+		}
+	}
+	if _, err := PointMassWeightedTasks(5, 10, 9, 3, rng); err == nil {
+		t.Error("node out of range should error")
+	}
+	if _, err := PointMassWeightedTasks(5, 10, 0, 0, rng); err == nil {
+		t.Error("wmax < 1 should error")
+	}
+}
+
+func TestFloorTasks(t *testing.T) {
+	dist := load.TaskDist{{{Weight: 4}}, {}}
+	s := load.Speeds{2, 3}
+	out, err := FloorTasks(dist, s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[0]) != 1+4 {
+		t.Errorf("node 0 has %d tasks, want 5", len(out[0]))
+	}
+	if len(out[1]) != 6 {
+		t.Errorf("node 1 has %d tasks, want 6", len(out[1]))
+	}
+	loads := out.Loads()
+	if loads[0] != 8 || loads[1] != 6 {
+		t.Errorf("loads = %v, want [8 6]", loads)
+	}
+	// Original untouched.
+	if len(dist[0]) != 1 {
+		t.Error("FloorTasks must not mutate its input")
+	}
+	if _, err := FloorTasks(load.TaskDist{{}}, s, 1); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestDummyFloorTasks(t *testing.T) {
+	dist := load.TaskDist{{{Weight: 4}}, {}}
+	s := load.Speeds{2, 3}
+	out, err := DummyFloorTasks(dist, s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := out.Loads()
+	if loads[0] != 8 || loads[1] != 6 {
+		t.Errorf("loads = %v, want [8 6]", loads)
+	}
+	real := out.LoadsExcludingDummies()
+	if real[0] != 4 || real[1] != 0 {
+		t.Errorf("real loads = %v, want [4 0]", real)
+	}
+	if _, err := DummyFloorTasks(load.TaskDist{{}}, s, 1); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestRandomSpeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s, err := RandomSpeeds(50, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s {
+		if v < 1 || v > 4 {
+			t.Fatalf("speed %d out of [1,4]", v)
+		}
+	}
+	if _, err := RandomSpeeds(5, 0, rng); err == nil {
+		t.Error("maxSpeed < 1 should error")
+	}
+}
+
+func TestTieredSpeeds(t *testing.T) {
+	s, err := TieredSpeeds(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := load.Speeds{4, 4, 4, 1, 1, 1}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("TieredSpeeds = %v, want %v", s, want)
+			break
+		}
+	}
+	if _, err := TieredSpeeds(6, 0); err == nil {
+		t.Error("fast < 1 should error")
+	}
+}
+
+// Property: every generator conserves the requested total load.
+func TestGeneratorsConserveTotalProperty(t *testing.T) {
+	f := func(seed int64, mRaw uint16) bool {
+		m := int64(mRaw)
+		rng := rand.New(rand.NewSource(seed))
+		if UniformRandom(7, m, rng).Total() != m {
+			return false
+		}
+		if Skewed(7, m).Total() != m {
+			return false
+		}
+		pm, err := PointMass(7, m, int(uint64(seed)%7))
+		if err != nil || pm.Total() != m {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
