@@ -9,10 +9,12 @@ import (
 	"repro/internal/load"
 )
 
-// roundingEps absorbs floating-point noise in the residual-flow comparison
+// RoundingEps absorbs floating-point noise in the residual-flow comparison
 // against wmax, so that exact-arithmetic floor semantics are preserved: with
 // unit tokens Algorithm 1 sends exactly floor(f^A_e(t) − f^D_e(t−1)) tasks.
-const roundingEps = 1e-9
+// It is exported because the distributed executions (dist, netsim) must use
+// the very same epsilon to make bit-identical send decisions.
+const RoundingEps = 1e-9
 
 // TaskPolicy selects which of a node's unallocated tasks Algorithm 1 picks
 // next. The paper allows an arbitrary choice; the discrepancy bounds hold
@@ -180,7 +182,7 @@ func (fi *FlowImitation) Step() {
 			gap = -gap
 		}
 		var sent int64
-		for gap-float64(sent) >= wmax-roundingEps {
+		for gap-float64(sent) >= wmax-RoundingEps {
 			q := fi.takeTask(sender)
 			fi.incoming[recv] = append(fi.incoming[recv], q)
 			sent += q.Weight

@@ -128,7 +128,7 @@ func (ri *RandomizedFlowImitation) Step() {
 		if gap <= 0 {
 			continue
 		}
-		whole := math.Floor(gap + roundingEps)
+		whole := math.Floor(gap + RoundingEps)
 		frac := gap - whole
 		if frac < 0 {
 			frac = 0

@@ -1,0 +1,218 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/continuous"
+	"repro/internal/graph"
+	"repro/internal/load"
+)
+
+// ProcessMaker builds one node's private continuous replica from the initial
+// load vector. Every node gets its own instance; instances must be
+// independent (no shared mutable state) yet deterministic copies of one
+// another, so that all replicas compute identical flows. A ProcessMaker is
+// convertible to a continuous.Factory and vice versa.
+type ProcessMaker func(x0 []float64) (continuous.Process, error)
+
+// node is the state owned exclusively by one node goroutine. The
+// coordinator reads it only between rounds (the done barrier orders those
+// reads after the goroutine's writes).
+type node struct {
+	id   int
+	cont continuous.Process
+	st   *SendState
+
+	// out and in are this node's send/receive endpoints of the per-edge
+	// duplex channel pair, indexed like graph.Neighbors(id).
+	out []chan []load.Task
+	in  []chan []load.Task
+}
+
+// Cluster runs Algorithm 1 distributed: one goroutine per node, whole tasks
+// as channel messages, barrier-synchronized rounds. A Cluster is not safe
+// for concurrent use; call its methods from a single goroutine.
+type Cluster struct {
+	g      *graph.Graph
+	s      load.Speeds
+	wmax   int64
+	nodes  []*node
+	states []*SendState
+
+	start []chan struct{}
+	done  chan struct{}
+	quit  chan struct{}
+	once  sync.Once
+
+	round   int
+	stopped bool
+}
+
+// NewCluster builds a distributed Algorithm 1 run on graph g with speeds s
+// and initial task distribution d. maker builds each node's continuous
+// replica; all replicas are seeded with d's load vector. The cluster's node
+// goroutines are started immediately and park between rounds; call Stop to
+// release them when the cluster is no longer needed.
+func NewCluster(g *graph.Graph, s load.Speeds, d load.TaskDist, maker ProcessMaker) (*Cluster, error) {
+	if g == nil {
+		return nil, errors.New("dist: nil graph")
+	}
+	if maker == nil {
+		return nil, errors.New("dist: nil process maker")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s) != g.N() {
+		return nil, fmt.Errorf("dist: speeds length %d != n %d", len(s), g.N())
+	}
+	if len(d) != g.N() {
+		return nil, fmt.Errorf("dist: task distribution length %d != n %d", len(d), g.N())
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	x0 := d.Loads().Float()
+
+	// One duplex channel pair per edge; fwd carries U(e)->V(e) batches.
+	// Capacity 1 makes the single send of each direction per round
+	// non-blocking, so every node finishes its send phase before any node
+	// can stall in its receive phase — no deadlock, no extra goroutines.
+	type duplex struct{ fwd, rev chan []load.Task }
+	links := make([]duplex, g.M())
+	for e := range links {
+		links[e] = duplex{
+			fwd: make(chan []load.Task, 1),
+			rev: make(chan []load.Task, 1),
+		}
+	}
+
+	c := &Cluster{
+		g:      g,
+		s:      s.Clone(),
+		wmax:   d.MaxWeight(),
+		nodes:  make([]*node, g.N()),
+		states: make([]*SendState, g.N()),
+		start:  make([]chan struct{}, g.N()),
+		done:   make(chan struct{}, g.N()),
+		quit:   make(chan struct{}),
+	}
+	for i := 0; i < g.N(); i++ {
+		replica, err := maker(x0)
+		if err != nil {
+			return nil, fmt.Errorf("dist: replica for node %d: %w", i, err)
+		}
+		neigh := g.Neighbors(i)
+		nd := &node{
+			id:   i,
+			cont: replica,
+			st:   NewSendState(d[i], len(neigh)),
+			out:  make([]chan []load.Task, len(neigh)),
+			in:   make([]chan []load.Task, len(neigh)),
+		}
+		for k, arc := range neigh {
+			if arc.Out > 0 {
+				nd.out[k], nd.in[k] = links[arc.Edge].fwd, links[arc.Edge].rev
+			} else {
+				nd.out[k], nd.in[k] = links[arc.Edge].rev, links[arc.Edge].fwd
+			}
+		}
+		c.nodes[i] = nd
+		c.states[i] = nd.st
+		c.start[i] = make(chan struct{}, 1)
+	}
+	for i, nd := range c.nodes {
+		go c.serve(nd, c.start[i])
+	}
+	return c, nil
+}
+
+// serve is the per-node goroutine: it parks between rounds and executes one
+// round per start signal until the cluster is stopped.
+func (c *Cluster) serve(nd *node, start chan struct{}) {
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-start:
+			nd.runRound(c.g, c.wmax)
+			c.done <- struct{}{}
+		}
+	}
+}
+
+// runRound executes one node's round: advance the private replica, decide
+// and send one batch per incident edge, then receive the neighbours'
+// batches.
+func (nd *node) runRound(g *graph.Graph, wmax int64) {
+	fl := nd.cont.Step()
+	neigh := g.Neighbors(nd.id)
+	batches := nd.st.DecideSends(neigh, fl, wmax)
+	for k := range neigh {
+		nd.out[k] <- batches[k]
+	}
+	for k, arc := range neigh {
+		nd.st.Receive(k, arc, <-nd.in[k])
+	}
+}
+
+// Step executes one synchronous round: it wakes every node goroutine and
+// returns once all of them have finished the round. Step panics if the
+// cluster has been stopped.
+func (c *Cluster) Step() {
+	if c.stopped {
+		panic("dist: Step on a stopped Cluster")
+	}
+	for _, ch := range c.start {
+		ch <- struct{}{}
+	}
+	for range c.nodes {
+		<-c.done
+	}
+	c.round++
+}
+
+// Run executes the given number of rounds.
+func (c *Cluster) Run(rounds int) {
+	for t := 0; t < rounds; t++ {
+		c.Step()
+	}
+}
+
+// Stop terminates the node goroutines. It is idempotent; the cluster's
+// state remains readable afterwards, but Step panics.
+func (c *Cluster) Stop() {
+	c.once.Do(func() {
+		c.stopped = true
+		close(c.quit)
+	})
+}
+
+// Round returns the number of completed rounds.
+func (c *Cluster) Round() int { return c.round }
+
+// Graph returns the network.
+func (c *Cluster) Graph() *graph.Graph { return c.g }
+
+// Speeds returns the node speeds.
+func (c *Cluster) Speeds() load.Speeds { return c.s }
+
+// Wmax returns the maximum task weight the cluster was built with.
+func (c *Cluster) Wmax() int64 { return c.wmax }
+
+// Load returns the per-node total task weight, including dummy tokens.
+func (c *Cluster) Load() load.Vector { return Loads(c.states) }
+
+// LoadExcludingDummies returns the per-node real load after the paper's
+// end-of-process dummy elimination.
+func (c *Cluster) LoadExcludingDummies() load.Vector { return RealLoads(c.states) }
+
+// DummiesCreated returns the total dummy weight drawn from the infinite
+// source across all nodes.
+func (c *Cluster) DummiesCreated() int64 { return TotalDummies(c.states) }
+
+// Tasks returns a deep copy of the current task distribution, in each
+// node's exact pool order.
+func (c *Cluster) Tasks() load.TaskDist { return CloneTasks(c.states) }

@@ -1,0 +1,65 @@
+package dist
+
+import (
+	"errors"
+
+	"repro/internal/continuous"
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/matching"
+)
+
+// FOSMaker builds per-node replicas of first-order diffusion with the given
+// symmetric parameters. FOS is deterministic, so the replicas agree on every
+// flow by construction.
+func FOSMaker(g *graph.Graph, s load.Speeds, alpha continuous.Alphas) ProcessMaker {
+	return ProcessMaker(continuous.FOSFactory(g, s, alpha))
+}
+
+// SOSMaker builds per-node replicas of second-order diffusion with
+// relaxation parameter beta in (0, 2].
+func SOSMaker(g *graph.Graph, s load.Speeds, alpha continuous.Alphas, beta float64) ProcessMaker {
+	return ProcessMaker(continuous.SOSFactory(g, s, alpha, beta))
+}
+
+// PeriodicMatchingMaker builds per-node replicas of the periodic
+// dimension-exchange process. With explicit matchings the schedule cycles
+// through them; with matchings == nil the canonical schedule derived from
+// the greedy edge colouring of g is used. The schedule is built once and
+// shared by every replica — matching.Periodic is immutable, so sharing is
+// goroutine-safe.
+func PeriodicMatchingMaker(g *graph.Graph, s load.Speeds, matchings []matching.Matching) ProcessMaker {
+	var (
+		sched *matching.Periodic
+		err   error
+	)
+	switch {
+	case g == nil:
+		err = errors.New("dist: nil graph")
+	case matchings == nil:
+		sched, err = matching.NewPeriodicFromColoring(g)
+	default:
+		sched, err = matching.NewPeriodic(g, matchings)
+	}
+	return func(x0 []float64) (continuous.Process, error) {
+		if err != nil {
+			return nil, err
+		}
+		return continuous.NewMatchingProcess(g, s, sched, x0)
+	}
+}
+
+// RandomMatchingMaker builds per-node replicas of the random-matching
+// dimension-exchange process. Each replica gets its own matching.Random
+// schedule with the same seed: schedules derive round t's matching
+// deterministically from (seed, t), so all replicas draw identical matchings
+// (coupled randomness) while sharing no mutable state — matching.Random
+// caches its last matching and must not be shared across goroutines.
+func RandomMatchingMaker(g *graph.Graph, s load.Speeds, seed int64) ProcessMaker {
+	return func(x0 []float64) (continuous.Process, error) {
+		if g == nil {
+			return nil, errors.New("dist: nil graph")
+		}
+		return continuous.NewMatchingProcess(g, s, matching.NewRandom(g, seed), x0)
+	}
+}

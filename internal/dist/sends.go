@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/load"
+)
+
+// NetFlows is the minimal view of one round's continuous flows the send
+// decision needs: the signed net flow per edge. *continuous.Flows
+// implements it.
+type NetFlows interface {
+	Net(e int) float64
+}
+
+// SendState is the per-node flow-imitation bookkeeping shared by the
+// channel-based execution in this package and the wire-based execution in
+// package netsim: the task pool, the cumulative continuous (fA) and
+// discrete (fD) signed net flow of each incident edge, and the dummy
+// counter. DecideSends is the per-node view of core.FlowImitation's edge
+// loop; keeping it in one place is what keeps the distributed executions
+// bit-for-bit identical to the centralized one.
+//
+// fA and fD are indexed like the node's adjacency list and use the edge's
+// global U(e)->V(e) sign convention.
+type SendState struct {
+	// tasks is the node's pool. During a round only the avail-prefix (the
+	// tasks held at round start, minus those already sent) may be
+	// forwarded; arrivals are appended by Receive, after all sends.
+	tasks   []load.Task
+	avail   int
+	fA      []float64
+	fD      []int64
+	dummies int64
+}
+
+// NewSendState builds the bookkeeping for one node holding the given
+// initial tasks (copied) with the given degree.
+func NewSendState(initial []load.Task, degree int) *SendState {
+	return &SendState{
+		tasks: append([]load.Task(nil), initial...),
+		fA:    make([]float64, degree),
+		fD:    make([]int64, degree),
+	}
+}
+
+// DecideSends runs one node's send phase: it accumulates the round's
+// continuous flows, then visits the incident arcs in adjacency-list order
+// (which is increasing edge-index order, matching the centralized global
+// edge loop) and builds one batch per arc (nil when nothing is sent),
+// popping tasks LIFO from the round-start pool and drawing dummy tokens
+// when the pool runs dry. batches[k] belongs on arc neigh[k].
+func (st *SendState) DecideSends(neigh []graph.Arc, fl NetFlows, wmax int64) [][]load.Task {
+	for k, arc := range neigh {
+		st.fA[k] += fl.Net(arc.Edge)
+	}
+	st.avail = len(st.tasks)
+	wmaxF := float64(wmax)
+	batches := make([][]load.Task, len(neigh))
+	for k, arc := range neigh {
+		gap := st.fA[k] - float64(st.fD[k])
+		if arc.Out < 0 {
+			gap = -gap
+		}
+		var sent int64
+		for gap-float64(sent) >= wmaxF-core.RoundingEps {
+			q := st.take()
+			batches[k] = append(batches[k], q)
+			sent += q.Weight
+		}
+		st.fD[k] += int64(arc.Out) * sent
+	}
+	return batches
+}
+
+// take pops the most recent unallocated round-start task (LIFO, the
+// centralized PolicyLIFO), or draws a unit-weight dummy token from the
+// infinite source when the pool is exhausted.
+func (st *SendState) take() load.Task {
+	if st.avail == 0 {
+		st.dummies++
+		return load.Task{Weight: 1, Dummy: true}
+	}
+	st.avail--
+	q := st.tasks[st.avail]
+	st.tasks = st.tasks[:st.avail]
+	return q
+}
+
+// Receive applies the batch that arrived over arc neigh[k]: it credits the
+// edge's discrete flow and appends the tasks to the pool.
+func (st *SendState) Receive(k int, arc graph.Arc, batch []load.Task) {
+	var recv int64
+	for _, q := range batch {
+		recv += q.Weight
+	}
+	st.fD[k] -= int64(arc.Out) * recv
+	st.tasks = append(st.tasks, batch...)
+}
+
+// Tasks returns the node's pool. The slice is owned by the state and must
+// not be modified.
+func (st *SendState) Tasks() []load.Task { return st.tasks }
+
+// Dummies returns the total dummy weight drawn so far.
+func (st *SendState) Dummies() int64 { return st.dummies }
+
+// Loads returns the per-node total task weight, including dummy tokens,
+// for a cluster's per-node states.
+func Loads(states []*SendState) load.Vector {
+	x := make(load.Vector, len(states))
+	for i, st := range states {
+		for _, q := range st.tasks {
+			x[i] += q.Weight
+		}
+	}
+	return x
+}
+
+// RealLoads returns the per-node non-dummy task weight (the real load
+// after the paper's end-of-process dummy elimination).
+func RealLoads(states []*SendState) load.Vector {
+	x := make(load.Vector, len(states))
+	for i, st := range states {
+		for _, q := range st.tasks {
+			if !q.Dummy {
+				x[i] += q.Weight
+			}
+		}
+	}
+	return x
+}
+
+// TotalDummies returns the dummy weight drawn across all states.
+func TotalDummies(states []*SendState) int64 {
+	var total int64
+	for _, st := range states {
+		total += st.dummies
+	}
+	return total
+}
+
+// CloneTasks returns a deep copy of the task distribution held by the
+// states, in each node's exact pool order.
+func CloneTasks(states []*SendState) load.TaskDist {
+	out := make(load.TaskDist, len(states))
+	for i, st := range states {
+		out[i] = append([]load.Task(nil), st.tasks...)
+	}
+	return out
+}

@@ -22,8 +22,6 @@ import (
 	"repro/internal/load"
 )
 
-const roundingEps = 1e-9
-
 // Transport produces the duplex links nodes communicate over.
 type Transport interface {
 	// Link returns two connected endpoints of a reliable duplex link.
@@ -107,44 +105,37 @@ type link struct {
 
 // Cluster runs Algorithm 1 over network links.
 type Cluster struct {
-	g     *graph.Graph
-	s     load.Speeds
-	wmax  int64
-	tr    Transport
-	nodes []*nodeState
-	round int
+	g      *graph.Graph
+	s      load.Speeds
+	wmax   int64
+	tr     Transport
+	nodes  []*nodeState
+	states []*dist.SendState
+	round  int
 }
 
-// nodeState is the full per-node state (kept separate from the wire helper
-// types above for clarity).
+// nodeState is the full per-node state: the shared flow-imitation
+// bookkeeping from package dist plus the wire links.
 type nodeState struct {
-	id      int
-	tasks   []load.Task
-	fD      map[int]int64
-	fA      map[int]float64
-	cont    contProcess
-	links   []link
-	dummies int64
+	id    int
+	st    *dist.SendState
+	cont  contProcess
+	links []link
 }
 
 // contProcess is the slice of the continuous.Process interface netsim needs;
 // keeping it minimal avoids a hard dependency in the hot path.
 type contProcess interface {
-	Step() flows
-}
-
-// flows is the minimal view of one round's flow set.
-type flows interface {
-	Net(e int) float64
+	Step() dist.NetFlows
 }
 
 // procAdapter adapts a continuous.Process (whose Step returns a concrete
 // *continuous.Flows) to contProcess.
 type procAdapter struct {
-	step func() flows
+	step func() dist.NetFlows
 }
 
-func (p procAdapter) Step() flows { return p.step() }
+func (p procAdapter) Step() dist.NetFlows { return p.step() }
 
 // New builds a network cluster for Algorithm 1. dist is the initial task
 // placement; maker builds each node's continuous replica (same contract as
@@ -173,29 +164,44 @@ func New(g *graph.Graph, s load.Speeds, taskDist load.TaskDist, maker dist.Proce
 	}
 	x0 := taskDist.Loads().Float()
 
-	// Create one duplex link per edge; endpoint A belongs to U(e).
+	// Create one duplex link per edge; endpoint A belongs to U(e). On any
+	// later construction failure every already-opened conn is closed, so
+	// aborted constructions do not leak sockets.
 	type pair struct{ a, b net.Conn }
-	pairs := make([]pair, g.M())
-	for e := range pairs {
+	var pairs []pair
+	closePairs := func() {
+		for _, p := range pairs {
+			p.a.Close()
+			p.b.Close()
+		}
+	}
+	for e := 0; e < g.M(); e++ {
 		a, b, err := tr.Link()
 		if err != nil {
+			closePairs()
 			return nil, fmt.Errorf("netsim: link for edge %d: %w", e, err)
 		}
-		pairs[e] = pair{a: a, b: b}
+		pairs = append(pairs, pair{a: a, b: b})
 	}
-	c := &Cluster{g: g, s: s.Clone(), wmax: taskDist.MaxWeight(), tr: tr, nodes: make([]*nodeState, g.N())}
+	c := &Cluster{
+		g:      g,
+		s:      s.Clone(),
+		wmax:   taskDist.MaxWeight(),
+		tr:     tr,
+		nodes:  make([]*nodeState, g.N()),
+		states: make([]*dist.SendState, g.N()),
+	}
 	for i := 0; i < g.N(); i++ {
 		replica, err := maker(x0)
 		if err != nil {
+			closePairs()
 			return nil, fmt.Errorf("netsim: replica for node %d: %w", i, err)
 		}
 		r := replica
 		nd := &nodeState{
-			id:    i,
-			tasks: append([]load.Task(nil), taskDist[i]...),
-			fD:    make(map[int]int64, g.Degree(i)),
-			fA:    make(map[int]float64, g.Degree(i)),
-			cont:  procAdapter{step: func() flows { return r.Step() }},
+			id:   i,
+			st:   dist.NewSendState(taskDist[i], g.Degree(i)),
+			cont: procAdapter{step: func() dist.NetFlows { return r.Step() }},
 		}
 		for _, arc := range g.Neighbors(i) {
 			conn := pairs[arc.Edge].a
@@ -207,10 +213,9 @@ func New(g *graph.Graph, s load.Speeds, taskDist load.TaskDist, maker dist.Proce
 				enc:  gob.NewEncoder(conn),
 				dec:  gob.NewDecoder(conn),
 			})
-			nd.fD[arc.Edge] = 0
-			nd.fA[arc.Edge] = 0
 		}
 		c.nodes[i] = nd
+		c.states[i] = nd.st
 	}
 	return c, nil
 }
@@ -238,42 +243,14 @@ func (c *Cluster) Step() error {
 	return nil
 }
 
-// step is one node's round: advance the replica, decide sends (identical
-// policy to core.FlowImitation with LIFO task picks), then exchange frames.
-// Writes run in their own goroutines because pipe links are synchronous.
+// step is one node's round: advance the replica, decide sends (the shared
+// dist.SendState logic, identical to core.FlowImitation with LIFO task
+// picks), then exchange frames. Writes run in their own goroutines because
+// pipe links are synchronous.
 func (nd *nodeState) step(g *graph.Graph, wmax int64, round int) error {
 	fl := nd.cont.Step()
 	neigh := g.Neighbors(nd.id)
-	for _, arc := range neigh {
-		nd.fA[arc.Edge] += fl.Net(arc.Edge)
-	}
-	avail := len(nd.tasks)
-	wmaxF := float64(wmax)
-	batches := make([][]load.Task, len(neigh))
-	for k, arc := range neigh {
-		gap := nd.fA[arc.Edge] - float64(nd.fD[arc.Edge])
-		if arc.Out < 0 {
-			gap = -gap
-		}
-		if gap <= 0 {
-			continue
-		}
-		var sent int64
-		for gap-float64(sent) >= wmaxF-roundingEps {
-			var q load.Task
-			if avail == 0 {
-				q = load.Task{Weight: 1, Dummy: true}
-				nd.dummies++
-			} else {
-				avail--
-				q = nd.tasks[avail]
-				nd.tasks = nd.tasks[:avail]
-			}
-			batches[k] = append(batches[k], q)
-			sent += q.Weight
-		}
-		nd.fD[arc.Edge] += int64(arc.Out) * sent
-	}
+	batches := nd.st.DecideSends(neigh, fl, wmax)
 
 	// Concurrent writers per link; the node goroutine reads.
 	var writers sync.WaitGroup
@@ -302,12 +279,7 @@ func (nd *nodeState) step(g *graph.Graph, wmax int64, round int) error {
 			}
 			continue
 		}
-		var recv int64
-		for _, q := range in.Tasks {
-			recv += q.Weight
-		}
-		nd.fD[arc.Edge] -= int64(arc.Out) * recv
-		nd.tasks = append(nd.tasks, in.Tasks...)
+		nd.st.Receive(k, arc, in.Tasks)
 	}
 	writers.Wait()
 	close(writeErrs)
@@ -352,37 +324,13 @@ func (c *Cluster) Close() error {
 func (c *Cluster) Round() int { return c.round }
 
 // Load returns the per-node total task weight, including dummies.
-func (c *Cluster) Load() load.Vector {
-	x := make(load.Vector, len(c.nodes))
-	for i, nd := range c.nodes {
-		for _, q := range nd.tasks {
-			x[i] += q.Weight
-		}
-	}
-	return x
-}
+func (c *Cluster) Load() load.Vector { return dist.Loads(c.states) }
 
 // LoadExcludingDummies returns the per-node real load.
-func (c *Cluster) LoadExcludingDummies() load.Vector {
-	x := make(load.Vector, len(c.nodes))
-	for i, nd := range c.nodes {
-		for _, q := range nd.tasks {
-			if !q.Dummy {
-				x[i] += q.Weight
-			}
-		}
-	}
-	return x
-}
+func (c *Cluster) LoadExcludingDummies() load.Vector { return dist.RealLoads(c.states) }
 
 // DummiesCreated returns the total dummy weight drawn across all nodes.
-func (c *Cluster) DummiesCreated() int64 {
-	var total int64
-	for _, nd := range c.nodes {
-		total += nd.dummies
-	}
-	return total
-}
+func (c *Cluster) DummiesCreated() int64 { return dist.TotalDummies(c.states) }
 
 // Speeds returns the node speeds.
 func (c *Cluster) Speeds() load.Speeds { return c.s }
