@@ -379,6 +379,73 @@ func BenchmarkDistClusterRound(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineStep measures the engine hot path: one balancing round of
+// the online runtime on a 10k-node torus with ~8 tokens/node in flight,
+// sharded over the default worker pool (metrics sampling included — it is
+// part of the runtime).
+func BenchmarkEngineStep(b *testing.B) {
+	g, err := discretelb.NewTorus(100, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := discretelb.UniformSpeeds(g.N())
+	tokens := discretelb.UniformRandomLoad(g.N(), 8*int64(g.N()), rand.New(rand.NewSource(1)))
+	tasks, err := discretelb.NewTokens(tokens)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := discretelb.NewEngine(discretelb.EngineConfig{Graph: g, Speeds: s, Tasks: tasks})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineChurn measures topology-event cost: per iteration one
+// NodeJoin (three peers) and one NodeLeave of the joined node, each
+// followed by a balancing round — covering neighbourhood α rebuilds, load
+// redistribution and the per-event conservation audit on a 1k-node torus.
+func BenchmarkEngineChurn(b *testing.B) {
+	g, err := discretelb.NewTorus(32, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := discretelb.UniformSpeeds(g.N())
+	tokens := discretelb.UniformRandomLoad(g.N(), 8*int64(g.N()), rand.New(rand.NewSource(1)))
+	tasks, err := discretelb.NewTokens(tokens)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := discretelb.NewEngine(discretelb.EngineConfig{Graph: g, Speeds: s, Tasks: tasks})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := eng.Round()
+		if err := eng.Schedule(discretelb.EngineJoin(at, 1, 7, 300, 777)); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+		// The joined node always lands in the first recycled slot.
+		if err := eng.Schedule(discretelb.EngineLeave(eng.Round(), g.N())); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkRoundDownRound(b *testing.B) {
 	g, s, x0 := benchGraphAndLoad(b)
 	alpha, err := discretelb.DefaultAlphas(g, s)

@@ -1,0 +1,137 @@
+// Command lbserve runs the online load balancing engine as an HTTP daemon:
+// an always-on Algorithm 1 over a mutable topology, with event injection,
+// snapshots and streaming metrics served against the live engine.
+//
+// Usage:
+//
+//	lbserve -addr :8080 -graph torus:32 [-tokens 8] [-maxspeed 1]
+//	        [-workers 0] [-window 4096] [-rate 50] [-seed 1]
+//
+// Endpoints:
+//
+//	GET  /healthz            liveness + current round
+//	GET  /snapshot[?loads=1] point-in-time summary of the runtime
+//	GET  /metrics[?n=K]      the last K streaming metrics samples
+//	POST /events             inject an event, e.g.
+//	                         {"kind":"arrival","node":3,"tokens":500}
+//	                         {"kind":"join","peers":[0,17]}
+//	                         {"kind":"leave","node":9}
+//	POST /step[?rounds=N]    execute N balancing rounds
+//
+// With -rate R the daemon steps the engine R times per second on its own;
+// with -rate 0 rounds only advance through POST /step.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/engine"
+	"repro/internal/load"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lbserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		graphSpec = flag.String("graph", "torus:32", "initial graph specification")
+		tokens    = flag.Int64("tokens", 0, "initial tokens per node, placed uniformly at random")
+		maxSpeed  = flag.Int64("maxspeed", 1, "random speeds in {1..maxspeed}")
+		seed      = flag.Int64("seed", 1, "random seed for speeds and initial placement")
+		workers   = flag.Int("workers", 0, "sharding workers for the hot path (0 = GOMAXPROCS)")
+		window    = flag.Int("window", 4096, "metrics ring capacity")
+		sample    = flag.Int("sample", 1, "take a metrics sample every N rounds")
+		rate      = flag.Float64("rate", 0, "rounds per second to step automatically (0 = manual /step)")
+	)
+	flag.Parse()
+
+	if *addr == "" {
+		return fmt.Errorf("lbserve: -addr must not be empty")
+	}
+	if err := cli.ValidateNonNegative("tokens", *tokens); err != nil {
+		return err
+	}
+	if err := cli.ValidatePositive("maxspeed", *maxSpeed); err != nil {
+		return err
+	}
+	if err := cli.ValidateNonNegative("workers", int64(*workers)); err != nil {
+		return err
+	}
+	if err := cli.ValidatePositive("window", int64(*window)); err != nil {
+		return err
+	}
+	if err := cli.ValidatePositive("sample", int64(*sample)); err != nil {
+		return err
+	}
+	if *rate < 0 {
+		return fmt.Errorf("lbserve: -rate=%v must be >= 0", *rate)
+	}
+
+	g, err := cli.ParseGraph(*graphSpec, *seed)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var s load.Speeds
+	if *maxSpeed <= 1 {
+		s = load.UniformSpeeds(g.N())
+	} else {
+		s, err = workload.RandomSpeeds(g.N(), *maxSpeed, rng)
+		if err != nil {
+			return err
+		}
+	}
+	var tasks load.TaskDist
+	if *tokens > 0 {
+		tasks, err = load.NewTokens(workload.UniformRandom(g.N(), *tokens*int64(g.N()), rng))
+		if err != nil {
+			return err
+		}
+	}
+
+	eng, err := engine.New(engine.Config{
+		Graph:         g,
+		Speeds:        s,
+		Tasks:         tasks,
+		Workers:       *workers,
+		MetricsWindow: *window,
+		SampleEvery:   *sample,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	sv := engine.NewServer(eng)
+
+	if *rate > 0 {
+		interval := time.Duration(float64(time.Second) / *rate)
+		go func() {
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for range ticker.C {
+				if err := sv.Do(func(e *engine.Engine) error { return e.Step() }); err != nil {
+					// Invalid injected events are rejected atomically at
+					// apply time; log and keep balancing.
+					log.Printf("lbserve: step: %v", err)
+				}
+			}
+		}()
+	}
+
+	log.Printf("lbserve: %s (n=%d, m=%d, W=%d) listening on %s (rate=%v rounds/s)",
+		*graphSpec, g.N(), g.M(), eng.RealTotal(), *addr, *rate)
+	return http.ListenAndServe(*addr, sv.Handler())
+}

@@ -48,6 +48,22 @@ func run() error {
 	)
 	flag.Parse()
 
+	if err := cli.ValidateNonNegative("tokens", *tokens); err != nil {
+		return err
+	}
+	if err := cli.ValidatePositive("maxspeed", *maxSpeed); err != nil {
+		return err
+	}
+	if err := cli.ValidateNonNegative("trace", int64(*traceEach)); err != nil {
+		return err
+	}
+	if err := cli.ValidateNonNegative("rounds", int64(*rounds)); err != nil {
+		return err
+	}
+	if err := cli.ValidatePositive("maxrounds", int64(*maxProbe)); err != nil {
+		return err
+	}
+
 	g, err := cli.ParseGraph(*graphSpec, *seed)
 	if err != nil {
 		return err

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 )
@@ -31,6 +32,10 @@ func run() error {
 		exp   = flag.String("exp", "all", "which experiment to run: f1..f6 or all")
 	)
 	flag.Parse()
+
+	if err := cli.ValidateChoice("exp", *exp, cli.ExpNames()); err != nil {
+		return err
+	}
 
 	cfg := experiments.DefaultConfig()
 	dims := []int{3, 4, 5, 6, 7, 8, 9, 10}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
@@ -34,6 +35,18 @@ func run() error {
 		maxSpeed = flag.Int64("maxspeed", 4, "maximum node speed for table 3")
 	)
 	flag.Parse()
+
+	if err := cli.ValidateChoice("table", *table, cli.TableNames()); err != nil {
+		return err
+	}
+	for name, v := range map[string]int64{
+		"n": int64(*n), "tokens": *tokens, "trials": int64(*trials),
+		"wmax": *wmax, "maxspeed": *maxSpeed,
+	} {
+		if err := cli.ValidatePositive(name, v); err != nil {
+			return err
+		}
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *quick {

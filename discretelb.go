@@ -32,6 +32,7 @@ import (
 	"repro/internal/continuous"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/load"
 	"repro/internal/matching"
@@ -88,6 +89,22 @@ type (
 	// ProcessMaker builds independent continuous replicas for Cluster
 	// nodes.
 	ProcessMaker = dist.ProcessMaker
+	// DynamicGraph is a mutable topology for online executions.
+	DynamicGraph = graph.Dynamic
+	// Engine is the always-on, event-driven Algorithm 1 runtime.
+	Engine = engine.Engine
+	// EngineConfig configures an Engine.
+	EngineConfig = engine.Config
+	// EngineEvent is one unit of the engine's input stream.
+	EngineEvent = engine.Event
+	// EngineSample is one round's streamed engine metrics.
+	EngineSample = engine.Sample
+	// EngineSnapshot is a point-in-time engine summary.
+	EngineSnapshot = engine.Snapshot
+	// EngineServer exposes a live Engine over HTTP.
+	EngineServer = engine.Server
+	// ArrivalBatch is one scheduled batch of online task arrivals.
+	ArrivalBatch = workload.Arrival
 )
 
 // Task selection policies for Algorithm 1.
@@ -212,6 +229,27 @@ var (
 	SOSMaker              = dist.SOSMaker
 	PeriodicMatchingMaker = dist.PeriodicMatchingMaker
 	RandomMatchingMaker   = dist.RandomMatchingMaker
+)
+
+// Online engine: event-driven Algorithm 1 with node churn.
+var (
+	// NewEngine builds the always-on runtime (see internal/engine).
+	NewEngine = engine.New
+	// NewEngineServer wraps an engine with the lbserve HTTP surface.
+	NewEngineServer = engine.NewServer
+	// NewDynamicGraph copies a graph into a mutable topology.
+	NewDynamicGraph = graph.NewDynamic
+	// EngineArrival / EngineArrivalTasks / EngineCompletion / EngineJoin /
+	// EngineLeave / EngineEdgeChange build the engine's event stream.
+	EngineArrival      = engine.Arrival
+	EngineArrivalTasks = engine.ArrivalTasks
+	EngineCompletion   = engine.Completion
+	EngineJoin         = engine.Join
+	EngineLeave        = engine.Leave
+	EngineEdgeChange   = engine.EdgeChange
+	// PoissonBursts and HotspotIngress generate online arrival processes.
+	PoissonBursts  = workload.PoissonBursts
+	HotspotIngress = workload.HotspotIngress
 )
 
 // Simulation and metrics.

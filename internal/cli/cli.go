@@ -208,6 +208,41 @@ func BuildScheme(name string, g *graph.Graph, s load.Speeds, sched matching.Sche
 	}
 }
 
+// ValidateChoice rejects values outside the allowed set, with a helpful
+// message naming the flag and the options.
+func ValidateChoice(flagName, v string, allowed []string) error {
+	for _, a := range allowed {
+		if v == a {
+			return nil
+		}
+	}
+	return fmt.Errorf("cli: -%s=%q is not one of %s", flagName, v, strings.Join(allowed, "|"))
+}
+
+// ValidatePositive rejects values below 1.
+func ValidatePositive(flagName string, v int64) error {
+	if v < 1 {
+		return fmt.Errorf("cli: -%s=%d must be >= 1", flagName, v)
+	}
+	return nil
+}
+
+// ValidateNonNegative rejects negative values.
+func ValidateNonNegative(flagName string, v int64) error {
+	if v < 0 {
+		return fmt.Errorf("cli: -%s=%d must be >= 0", flagName, v)
+	}
+	return nil
+}
+
+// TableNames lists the values lbtable's -table flag accepts.
+func TableNames() []string { return []string{"1", "2", "3", "all"} }
+
+// ExpNames lists the values lbsweep's -exp flag accepts.
+func ExpNames() []string {
+	return []string{"all", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11"}
+}
+
 // SchemeNames lists the scheme identifiers BuildScheme accepts.
 func SchemeNames() []string {
 	return []string{

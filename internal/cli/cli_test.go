@@ -122,3 +122,64 @@ func TestBuildSchemeAllNames(t *testing.T) {
 		}
 	}
 }
+
+func TestValidateChoice(t *testing.T) {
+	tests := []struct {
+		flag    string
+		value   string
+		allowed []string
+		wantErr bool
+	}{
+		{"table", "1", TableNames(), false},
+		{"table", "2", TableNames(), false},
+		{"table", "3", TableNames(), false},
+		{"table", "all", TableNames(), false},
+		{"table", "4", TableNames(), true},
+		{"table", "", TableNames(), true},
+		{"table", "one", TableNames(), true},
+		{"exp", "all", ExpNames(), false},
+		{"exp", "f1", ExpNames(), false},
+		{"exp", "f11", ExpNames(), false},
+		{"exp", "f12", ExpNames(), true},
+		{"exp", "F1", ExpNames(), true},
+		{"exp", "bogus", ExpNames(), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.flag+"="+tt.value, func(t *testing.T) {
+			err := ValidateChoice(tt.flag, tt.value, tt.allowed)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("ValidateChoice(%q, %q) error = %v, wantErr %v", tt.flag, tt.value, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateNumericFlags(t *testing.T) {
+	tests := []struct {
+		name     string
+		value    int64
+		positive bool
+		wantErr  bool
+	}{
+		{"n", 256, true, false},
+		{"n", 1, true, false},
+		{"n", 0, true, true},
+		{"n", -5, true, true},
+		{"tokens", 0, false, false},
+		{"tokens", 64, false, false},
+		{"tokens", -1, false, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var err error
+			if tt.positive {
+				err = ValidatePositive(tt.name, tt.value)
+			} else {
+				err = ValidateNonNegative(tt.name, tt.value)
+			}
+			if (err != nil) != tt.wantErr {
+				t.Errorf("validate %s=%d error = %v, wantErr %v", tt.name, tt.value, err, tt.wantErr)
+			}
+		})
+	}
+}

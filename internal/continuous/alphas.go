@@ -12,6 +12,25 @@ import (
 // node i so that outgoing demand never exceeds load in FOS.
 type Alphas []float64
 
+// EdgeAlpha returns the default diffusion parameter of a single edge,
+// α = min(s_u,s_v)/(max(d_u,d_v)+1), from its endpoints' speeds and
+// degrees. It is the neighbourhood-local piece of DefaultAlphas: because α
+// depends only on the endpoints, a topology change needs to recompute α
+// only for the edges incident to the nodes whose degree changed — which is
+// how the online engine keeps its parameters current without a global
+// rebuild.
+func EdgeAlpha(su, sv int64, du, dv int) float64 {
+	d := du
+	if dv > d {
+		d = dv
+	}
+	sm := su
+	if sv < sm {
+		sm = sv
+	}
+	return float64(sm) / float64(d+1)
+}
+
 // DefaultAlphas returns α_e = min(s_u,s_v)/(max(d_u,d_v)+1), the speed-aware
 // generalization of the common uniform choice 1/(max(d_i,d_j)+1). It always
 // satisfies Σ_{j∈N(i)} α_{i,j} <= d_i·s_i/(d_i+1) < s_i.
@@ -25,16 +44,7 @@ func DefaultAlphas(g *graph.Graph, s load.Speeds) (Alphas, error) {
 	a := make(Alphas, g.M())
 	for e := range a {
 		u, v := g.EdgeEndpoints(e)
-		du, dv := g.Degree(u), g.Degree(v)
-		d := du
-		if dv > d {
-			d = dv
-		}
-		sm := s[u]
-		if s[v] < sm {
-			sm = s[v]
-		}
-		a[e] = float64(sm) / float64(d+1)
+		a[e] = EdgeAlpha(s[u], s[v], g.Degree(u), g.Degree(v))
 	}
 	return a, nil
 }

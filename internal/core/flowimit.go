@@ -172,22 +172,19 @@ func (fi *FlowImitation) Step() {
 		fi.avail[i] = len(fi.tasks[i])
 		fi.incoming[i] = fi.incoming[i][:0]
 	}
-	wmax := float64(fi.wmax)
+	var sender, recv int
+	take := func() load.Task { return fi.takeTask(sender) }
+	emit := func(q load.Task) { fi.incoming[recv] = append(fi.incoming[recv], q) }
 	for e := 0; e < fi.g.M(); e++ {
 		gap := fi.fA[e] - float64(fi.fD[e])
 		u, v := fi.g.EdgeEndpoints(e)
-		sender, recv, sign := u, v, int64(1)
+		var sign int64
+		sender, recv, sign = u, v, 1
 		if gap < 0 {
 			sender, recv, sign = v, u, -1
 			gap = -gap
 		}
-		var sent int64
-		for gap-float64(sent) >= wmax-RoundingEps {
-			q := fi.takeTask(sender)
-			fi.incoming[recv] = append(fi.incoming[recv], q)
-			sent += q.Weight
-		}
-		fi.fD[e] += sign * sent
+		fi.fD[e] += sign * Forward(gap, fi.wmax, take, emit)
 	}
 	for i := range fi.tasks {
 		fi.tasks[i] = append(fi.tasks[i][:fi.avail[i]], fi.incoming[i]...)

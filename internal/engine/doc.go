@@ -1,0 +1,32 @@
+// Package engine runs the paper's Algorithm 1 as an always-on,
+// event-driven load balancing runtime instead of a batch simulation.
+//
+// The batch executions (core.FlowImitation, dist.Cluster, sim.Run) fix a
+// workload and a topology and run to quiescence. Two properties of the
+// paper make the algorithm viable as a long-running service, and this
+// package exploits both:
+//
+//   - Additivity (Definition 3): the continuous processes being imitated
+//     are additive, so new load injected mid-run simply starts balancing
+//     on top of the load already in motion — online task arrivals need no
+//     restart of any kind.
+//   - Locality (footnote 1): every quantity Algorithm 1 needs (the
+//     continuous flows, the per-edge cumulative flows f^A and f^D, the
+//     diffusion parameter α) depends only on an edge's endpoints, so a
+//     topology change — a node joining or leaving, an edge appearing or
+//     disappearing — only requires rebuilding the affected neighbourhood.
+//
+// An Engine therefore consumes a priority event stream (TaskArrival,
+// TaskCompletion, NodeJoin, NodeLeave, EdgeChange) interleaved with
+// balancing rounds over a mutable topology (graph.Dynamic). Load from
+// departing nodes is redistributed to their neighbours and conservation of
+// non-dummy weight is asserted at every event boundary. The per-node hot
+// path (send decisions via core.Forward over dist.SendState pools) is
+// sharded across a bounded worker pool, so large graphs step in parallel;
+// results are bit-for-bit independent of the worker count, and on a static
+// topology with no events identical to core.FlowImitation over FOS.
+//
+// A streaming metrics ring records discrepancy, potential Φ, dummy-token
+// counts and per-round latency; cmd/lbserve exposes the ring, snapshots
+// and event injection over HTTP.
+package engine

@@ -1,0 +1,781 @@
+package engine
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/continuous"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/load"
+)
+
+// Config configures a runtime instance.
+type Config struct {
+	// Graph is the initial topology (required).
+	Graph *graph.Graph
+	// Speeds are the initial node speeds (required, one per node).
+	Speeds load.Speeds
+	// Tasks is the initial task distribution; nil starts empty.
+	Tasks load.TaskDist
+	// Workers bounds the sharding pool for the per-node hot path;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// MetricsWindow is the capacity of the streaming metrics ring;
+	// 0 means 1024.
+	MetricsWindow int
+	// SampleEvery takes a metrics sample every that many rounds;
+	// 0 means every round.
+	SampleEvery int
+}
+
+// outMsg is one round's batch on an edge: the receiving node slot and the
+// tasks. Exactly one endpoint (the sender) writes the slot during the
+// decide phase and exactly the receiver consumes it during delivery.
+type outMsg struct {
+	to    int
+	tasks []load.Task
+}
+
+// Engine runs Algorithm 1 as an always-on, event-driven runtime: a
+// priority event loop consuming arrivals, completions, node churn and edge
+// changes, interleaved with balancing rounds over a mutable topology.
+//
+// The continuous replica (per-node load x, per-edge diffusion parameter α)
+// and the per-edge flow accumulators f^A/f^D live in engine-global arrays
+// indexed by the stable node/edge slots of graph.Dynamic; a topology
+// change rebuilds only the affected neighbourhood (the departing node's
+// incident edges, the α of edges whose endpoint degrees changed). Task
+// pools are dist.SendState values, and the per-edge send rule is
+// core.Forward — the same code path as the centralized and distributed
+// executions, so on a static topology with no events the engine is
+// bit-for-bit identical to core.FlowImitation over FOS with PolicyLIFO.
+//
+// An Engine is not safe for concurrent use; the HTTP server serializes
+// access.
+type Engine struct {
+	topo *graph.Dynamic
+	pool *workerPool
+
+	// Per node slot.
+	s  []int64
+	x  []float64
+	st []*dist.SendState
+
+	// Per edge slot.
+	alpha  []float64
+	fA     []float64
+	fD     []int64
+	net    []float64
+	gap    []float64
+	outbox []outMsg
+
+	wmax  int64
+	round int64
+
+	queue eventQueue
+	seq   int64
+
+	// expectedReal is the conserved non-dummy task weight: initial load
+	// plus arrivals minus completions. retiredDummies preserves the
+	// dummy-creation counters of departed nodes.
+	expectedReal   int64
+	retiredDummies int64
+	eventsApplied  int64
+
+	ring        *Ring
+	sampleEvery int
+	closed      bool
+}
+
+// ErrClosed is returned by operations on a closed engine.
+var ErrClosed = errors.New("engine: closed")
+
+// New builds a runtime from the initial topology, speeds and tasks and
+// starts its worker pool. Call Close to release the pool.
+func New(cfg Config) (*Engine, error) {
+	g := cfg.Graph
+	if g == nil {
+		return nil, errors.New("engine: nil graph")
+	}
+	if err := cfg.Speeds.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Speeds) != g.N() {
+		return nil, fmt.Errorf("engine: speeds length %d != n %d", len(cfg.Speeds), g.N())
+	}
+	tasks := cfg.Tasks
+	if tasks == nil {
+		tasks = make(load.TaskDist, g.N())
+	}
+	if len(tasks) != g.N() {
+		return nil, fmt.Errorf("engine: task distribution length %d != n %d", len(tasks), g.N())
+	}
+	if err := tasks.Validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	window := cfg.MetricsWindow
+	if window <= 0 {
+		window = 1024
+	}
+	sampleEvery := cfg.SampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = 1
+	}
+	e := &Engine{
+		topo:        graph.NewDynamic(g),
+		pool:        newWorkerPool(workers),
+		s:           make([]int64, g.N()),
+		x:           make([]float64, g.N()),
+		st:          make([]*dist.SendState, g.N()),
+		alpha:       make([]float64, g.M()),
+		fA:          make([]float64, g.M()),
+		fD:          make([]int64, g.M()),
+		net:         make([]float64, g.M()),
+		gap:         make([]float64, g.M()),
+		outbox:      make([]outMsg, g.M()),
+		wmax:        tasks.MaxWeight(),
+		ring:        newRing(window),
+		sampleEvery: sampleEvery,
+	}
+	copy(e.s, cfg.Speeds)
+	for i := 0; i < g.N(); i++ {
+		e.st[i] = dist.NewSendState(tasks[i], 0)
+		e.x[i] = float64(e.st[i].TotalWeight())
+		e.expectedReal += e.st[i].RealWeight()
+	}
+	alpha, err := continuous.DefaultAlphas(g, cfg.Speeds)
+	if err != nil {
+		e.pool.close()
+		return nil, err
+	}
+	copy(e.alpha, alpha)
+	return e, nil
+}
+
+// Close releases the worker pool. The engine's state stays readable; Step
+// and Schedule fail afterwards.
+func (e *Engine) Close() {
+	if !e.closed {
+		e.closed = true
+		e.pool.close()
+	}
+}
+
+// Round returns the number of completed balancing rounds.
+func (e *Engine) Round() int64 { return e.round }
+
+// Wmax returns the current maximum task weight (it grows when heavier
+// tasks arrive).
+func (e *Engine) Wmax() int64 { return e.wmax }
+
+// NumNodes returns the number of active nodes.
+func (e *Engine) NumNodes() int { return e.topo.NumNodes() }
+
+// NumEdges returns the number of active edges.
+func (e *Engine) NumEdges() int { return e.topo.NumEdges() }
+
+// RealTotal returns the conserved non-dummy task weight W.
+func (e *Engine) RealTotal() int64 { return e.expectedReal }
+
+// PendingEvents returns the number of scheduled, not yet applied events.
+func (e *Engine) PendingEvents() int { return len(e.queue) }
+
+// EventsApplied returns the number of events applied so far.
+func (e *Engine) EventsApplied() int64 { return e.eventsApplied }
+
+// Topology returns the mutable topology (read-only use).
+func (e *Engine) Topology() *graph.Dynamic { return e.topo }
+
+// DummiesCreated returns the cumulative dummy weight drawn from the
+// infinite source, including by nodes that have since left.
+func (e *Engine) DummiesCreated() int64 {
+	total := e.retiredDummies
+	for i, st := range e.st {
+		if e.topo.Active(i) {
+			total += st.Dummies()
+		}
+	}
+	return total
+}
+
+// Bound returns the Theorem 3 discrepancy bound 2·d·wmax + 2 for the
+// current topology and task weights.
+func (e *Engine) Bound() float64 {
+	return float64(2*int64(e.topo.MaxDegree())*e.wmax + 2)
+}
+
+// Schedule enqueues an event. Events in the past fire before the next
+// round. The event's tasks are not copied; the caller must not reuse them.
+func (e *Engine) Schedule(ev Event) error {
+	if e.closed {
+		return ErrClosed
+	}
+	switch ev.Kind {
+	case KindTaskArrival, KindTaskCompletion, KindNodeJoin, KindNodeLeave, KindEdgeChange:
+	default:
+		return fmt.Errorf("engine: unknown event kind %v", ev.Kind)
+	}
+	if ev.At < e.round {
+		ev.At = e.round
+	}
+	heap.Push(&e.queue, queued{ev: ev, seq: e.seq})
+	e.seq++
+	return nil
+}
+
+// Step applies all events due at the current round, executes one balancing
+// round, and (per SampleEvery) appends a metrics sample. Event application
+// asserts load conservation; a conservation failure is fatal.
+func (e *Engine) Step() error {
+	if e.closed {
+		return ErrClosed
+	}
+	start := time.Now()
+	for len(e.queue) > 0 && e.queue[0].ev.At <= e.round {
+		ev := heap.Pop(&e.queue).(queued).ev
+		if err := e.applyEvent(ev); err != nil {
+			return fmt.Errorf("engine: round %d %s event: %w", e.round, ev.Kind, err)
+		}
+		e.eventsApplied++
+		if err := e.CheckConservation(); err != nil {
+			return fmt.Errorf("engine: round %d after %s event: %w", e.round, ev.Kind, err)
+		}
+	}
+	e.runRound()
+	if e.round%int64(e.sampleEvery) == 0 {
+		e.sample(time.Since(start))
+	}
+	return nil
+}
+
+// Run executes the given number of rounds.
+func (e *Engine) Run(rounds int) error {
+	for t := 0; t < rounds; t++ {
+		if err := e.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunUntilBound steps until the event queue is drained and the max-avg
+// discrepancy re-enters the Theorem 3 bound, executing at most maxRounds
+// rounds. It returns the number of rounds executed and whether the bound
+// was reached.
+func (e *Engine) RunUntilBound(maxRounds int) (int, bool, error) {
+	for t := 0; t < maxRounds; t++ {
+		if len(e.queue) == 0 && e.MaxAvg() <= e.Bound() {
+			return t, true, nil
+		}
+		if err := e.Step(); err != nil {
+			return t, false, err
+		}
+	}
+	return maxRounds, len(e.queue) == 0 && e.MaxAvg() <= e.Bound(), nil
+}
+
+// runRound executes one synchronous balancing round over the current
+// topology: continuous FOS flows and the residual-gap snapshot (serial,
+// O(m)), then sharded per-node send decisions and deliveries, then the
+// continuous load update.
+func (e *Engine) runRound() {
+	edgeSlots := e.topo.EdgeSlots()
+	// Phase 1: continuous flows, cumulative f^A, and the per-edge residual
+	// snapshot. The snapshot is what makes the decide phase race-free:
+	// only the sending endpoint of an edge writes f^D, and nobody reads it
+	// until the next round.
+	for id := 0; id < edgeSlots; id++ {
+		e.outbox[id].tasks = nil
+		u, v := e.topo.EdgeEndpoints(id)
+		if u < 0 {
+			e.net[id] = 0
+			continue
+		}
+		yuv := e.alpha[id] / float64(e.s[u]) * e.x[u]
+		yvu := e.alpha[id] / float64(e.s[v]) * e.x[v]
+		n := yuv - yvu
+		e.net[id] = n
+		e.fA[id] += n
+		e.gap[id] = e.fA[id] - float64(e.fD[id])
+	}
+	// Phase 2: per-node send decisions, sharded over the worker pool. Each
+	// node touches only its own pool, the f^D of edges it sends on (single
+	// writer), and its own outbox slots.
+	nodeSlots := e.topo.NodeSlots()
+	wmaxF := float64(e.wmax) - core.RoundingEps
+	e.pool.forEach(nodeSlots, func(i int) {
+		if !e.topo.Active(i) {
+			return
+		}
+		st := e.st[i]
+		st.BeginRound()
+		for _, a := range e.topo.Neighbors(i) {
+			g := e.gap[a.Edge]
+			if a.Out < 0 {
+				g = -g
+			}
+			if g < wmaxF {
+				continue
+			}
+			var batch []load.Task
+			sent := core.Forward(g, e.wmax, st.Take, func(q load.Task) { batch = append(batch, q) })
+			e.fD[a.Edge] += int64(a.Out) * sent
+			e.outbox[a.Edge] = outMsg{to: a.To, tasks: batch}
+		}
+	})
+	// Phase 3: deliveries, sharded by receiver. The outbox is read-only in
+	// this phase (slots are reset at the start of the next round), so both
+	// endpoints may inspect an edge's slot concurrently; only the receiver
+	// appends, and only to its own pool.
+	e.pool.forEach(nodeSlots, func(i int) {
+		if !e.topo.Active(i) {
+			return
+		}
+		for _, a := range e.topo.Neighbors(i) {
+			m := &e.outbox[a.Edge]
+			if m.tasks != nil && m.to == i {
+				e.st[i].AddTasks(m.tasks)
+			}
+		}
+	})
+	// Phase 4: advance the continuous replica.
+	for id := 0; id < edgeSlots; id++ {
+		if n := e.net[id]; n != 0 {
+			u, v := e.topo.EdgeEndpoints(id)
+			e.x[u] -= n
+			e.x[v] += n
+		}
+	}
+	e.round++
+}
+
+// applyEvent dispatches one event. A returned error means the event was
+// invalid (or the engine state is inconsistent); the engine should not be
+// stepped further after an error.
+func (e *Engine) applyEvent(ev Event) error {
+	switch ev.Kind {
+	case KindTaskArrival:
+		return e.applyArrival(ev)
+	case KindTaskCompletion:
+		return e.applyCompletion(ev)
+	case KindNodeJoin:
+		_, err := e.applyJoin(ev)
+		return err
+	case KindNodeLeave:
+		return e.applyLeave(ev)
+	case KindEdgeChange:
+		return e.applyEdgeChange(ev)
+	default:
+		return fmt.Errorf("unknown event kind %v", ev.Kind)
+	}
+}
+
+func (e *Engine) applyArrival(ev Event) error {
+	if !e.topo.Active(ev.Node) {
+		return fmt.Errorf("arrival at inactive node %d", ev.Node)
+	}
+	var w int64
+	for _, q := range ev.Tasks {
+		if q.Weight < 1 {
+			return fmt.Errorf("arriving task has weight %d", q.Weight)
+		}
+		if q.Dummy {
+			return errors.New("dummy tasks cannot arrive")
+		}
+		w += q.Weight
+		if q.Weight > e.wmax {
+			e.wmax = q.Weight
+		}
+	}
+	e.st[ev.Node].AddTasks(ev.Tasks)
+	e.x[ev.Node] += float64(w)
+	e.expectedReal += w
+	return nil
+}
+
+func (e *Engine) applyCompletion(ev Event) error {
+	if !e.topo.Active(ev.Node) {
+		return fmt.Errorf("completion at inactive node %d", ev.Node)
+	}
+	if ev.Count < 0 {
+		return fmt.Errorf("negative completion count %d", ev.Count)
+	}
+	removed := e.st[ev.Node].RemoveNewestReal(ev.Count)
+	var w int64
+	for _, q := range removed {
+		w += q.Weight
+	}
+	e.x[ev.Node] -= float64(w)
+	e.expectedReal -= w
+	return nil
+}
+
+// applyJoin activates a new node and returns its slot.
+func (e *Engine) applyJoin(ev Event) (int, error) {
+	speed := ev.Speed
+	if speed == 0 {
+		speed = 1
+	}
+	if speed < 1 {
+		return 0, fmt.Errorf("joining node has speed %d", speed)
+	}
+	// Validate fully before mutating anything, so a rejected join leaves
+	// no half-wired node behind.
+	seen := make(map[int]bool, len(ev.Peers))
+	for _, p := range ev.Peers {
+		if !e.topo.Active(p) {
+			return 0, fmt.Errorf("join peer %d is inactive", p)
+		}
+		if seen[p] {
+			return 0, fmt.Errorf("duplicate join peer %d", p)
+		}
+		seen[p] = true
+	}
+	slot := e.topo.AddNode()
+	e.growNode(slot)
+	e.s[slot] = speed
+	e.x[slot] = 0
+	e.st[slot] = dist.NewSendState(nil, 0)
+	for _, p := range ev.Peers {
+		id, err := e.topo.AddEdge(slot, p)
+		if err != nil {
+			return slot, err
+		}
+		e.growEdge(id)
+		e.clearEdge(id)
+	}
+	e.refreshAlphas(append([]int{slot}, ev.Peers...))
+	return slot, nil
+}
+
+func (e *Engine) applyLeave(ev Event) error {
+	node := ev.Node
+	if !e.topo.Active(node) {
+		return fmt.Errorf("leave of inactive node %d", node)
+	}
+	if e.topo.NumNodes() == 1 {
+		return errors.New("last node cannot leave")
+	}
+	neigh := append([]graph.Arc(nil), e.topo.Neighbors(node)...)
+	tasks := e.st[node].Drain()
+	e.retiredDummies += e.st[node].Dummies()
+	removed, err := e.topo.RemoveNode(node)
+	if err != nil {
+		return err
+	}
+	for _, id := range removed {
+		e.clearEdge(id)
+		e.alpha[id] = 0
+	}
+	recipients := make([]int, 0, len(neigh))
+	for _, a := range neigh {
+		recipients = append(recipients, a.To)
+	}
+	if len(recipients) == 0 {
+		// An isolated node leaving hands its load to the lowest active
+		// slot so nothing is lost.
+		recipients = e.topo.ActiveNodes()[:1]
+	}
+	buckets := make([][]load.Task, len(recipients))
+	for k, q := range tasks {
+		r := k % len(recipients)
+		buckets[r] = append(buckets[r], q)
+	}
+	share := e.x[node] / float64(len(recipients))
+	for r, b := range buckets {
+		if len(b) > 0 {
+			e.st[recipients[r]].AddTasks(b)
+		}
+		e.x[recipients[r]] += share
+	}
+	e.x[node] = 0
+	e.st[node] = nil
+	e.refreshAlphas(recipients)
+	return nil
+}
+
+func (e *Engine) applyEdgeChange(ev Event) error {
+	// Validate the whole change against the current topology before
+	// mutating anything, so a rejected event is atomic. Removals run
+	// first, so an add may legitimately re-create a pair removed by the
+	// same event.
+	norm := func(uv [2]int) [2]int {
+		if uv[0] > uv[1] {
+			uv[0], uv[1] = uv[1], uv[0]
+		}
+		return uv
+	}
+	removing := make(map[[2]int]bool, len(ev.RemoveEdges))
+	for _, uv := range ev.RemoveEdges {
+		if !e.topo.HasEdge(uv[0], uv[1]) {
+			return fmt.Errorf("remove of missing edge (%d,%d)", uv[0], uv[1])
+		}
+		key := norm(uv)
+		if removing[key] {
+			return fmt.Errorf("duplicate removal of edge (%d,%d)", uv[0], uv[1])
+		}
+		removing[key] = true
+	}
+	adding := make(map[[2]int]bool, len(ev.AddEdges))
+	for _, uv := range ev.AddEdges {
+		if !e.topo.Active(uv[0]) || !e.topo.Active(uv[1]) {
+			return fmt.Errorf("add of edge (%d,%d) with inactive endpoint", uv[0], uv[1])
+		}
+		if uv[0] == uv[1] {
+			return fmt.Errorf("add of self loop (%d,%d)", uv[0], uv[1])
+		}
+		key := norm(uv)
+		if adding[key] {
+			return fmt.Errorf("duplicate addition of edge (%d,%d)", uv[0], uv[1])
+		}
+		if e.topo.HasEdge(uv[0], uv[1]) && !removing[key] {
+			return fmt.Errorf("add of existing edge (%d,%d)", uv[0], uv[1])
+		}
+		adding[key] = true
+	}
+	touched := make([]int, 0, 2*(len(ev.AddEdges)+len(ev.RemoveEdges)))
+	for _, uv := range ev.RemoveEdges {
+		id, err := e.topo.RemoveEdge(uv[0], uv[1])
+		if err != nil {
+			return err
+		}
+		e.clearEdge(id)
+		e.alpha[id] = 0
+		touched = append(touched, uv[0], uv[1])
+	}
+	for _, uv := range ev.AddEdges {
+		id, err := e.topo.AddEdge(uv[0], uv[1])
+		if err != nil {
+			return err
+		}
+		e.growEdge(id)
+		e.clearEdge(id)
+		touched = append(touched, uv[0], uv[1])
+	}
+	e.refreshAlphas(touched)
+	return nil
+}
+
+// refreshAlphas recomputes the diffusion parameter of every edge incident
+// to the given nodes — the affected neighbourhood of a topology change
+// (α depends only on the endpoints' speeds and degrees).
+func (e *Engine) refreshAlphas(nodes []int) {
+	for _, i := range nodes {
+		if !e.topo.Active(i) {
+			continue
+		}
+		for _, a := range e.topo.Neighbors(i) {
+			u, v := e.topo.EdgeEndpoints(a.Edge)
+			e.alpha[a.Edge] = continuous.EdgeAlpha(e.s[u], e.s[v], e.topo.Degree(u), e.topo.Degree(v))
+		}
+	}
+}
+
+// growNode extends the per-node arrays when AddNode allocated a new slot.
+func (e *Engine) growNode(slot int) {
+	if slot == len(e.s) {
+		e.s = append(e.s, 0)
+		e.x = append(e.x, 0)
+		e.st = append(e.st, nil)
+	}
+}
+
+// growEdge extends the per-edge arrays when AddEdge allocated a new slot.
+func (e *Engine) growEdge(id int) {
+	if id == len(e.alpha) {
+		e.alpha = append(e.alpha, 0)
+		e.fA = append(e.fA, 0)
+		e.fD = append(e.fD, 0)
+		e.net = append(e.net, 0)
+		e.gap = append(e.gap, 0)
+		e.outbox = append(e.outbox, outMsg{})
+	}
+}
+
+// clearEdge zeroes the flow state of an edge slot (fresh or freed). The
+// residual |f^A−f^D| < wmax of a removed edge is dropped; task conservation
+// is unaffected because tasks move only in whole units.
+func (e *Engine) clearEdge(id int) {
+	e.fA[id] = 0
+	e.fD[id] = 0
+	e.net[id] = 0
+	e.gap[id] = 0
+	e.outbox[id] = outMsg{}
+}
+
+// CheckConservation recounts every active pool and verifies that (1) the
+// incremental weight counters match the pools, (2) total non-dummy weight
+// equals the initial load plus arrivals minus completions, and (3) total
+// weight equals real weight plus all dummy tokens ever created. It is
+// invoked automatically after every applied event.
+func (e *Engine) CheckConservation() error {
+	var total, real int64
+	created := e.retiredDummies
+	for i := 0; i < e.topo.NodeSlots(); i++ {
+		if !e.topo.Active(i) {
+			continue
+		}
+		st := e.st[i]
+		var t, r int64
+		for _, q := range st.Tasks() {
+			t += q.Weight
+			if !q.Dummy {
+				r += q.Weight
+			}
+		}
+		if t != st.TotalWeight() || r != st.RealWeight() {
+			return fmt.Errorf("node %d: pool holds total=%d real=%d but counters say total=%d real=%d",
+				i, t, r, st.TotalWeight(), st.RealWeight())
+		}
+		total += t
+		real += r
+		created += st.Dummies()
+	}
+	if real != e.expectedReal {
+		return fmt.Errorf("real load %d != expected %d (conservation violated)", real, e.expectedReal)
+	}
+	if total != e.expectedReal+created {
+		return fmt.Errorf("total load %d != real %d + dummies %d", total, e.expectedReal, created)
+	}
+	return nil
+}
+
+// MaxAvg returns the current max-avg discrepancy of the real load over the
+// active nodes — the Theorem 3 quantity.
+func (e *Engine) MaxAvg() float64 {
+	maxAvg, _, _ := e.discrepancies()
+	return maxAvg
+}
+
+// discrepancies computes max-avg, max-min and the quadratic potential of
+// the real (dummy-eliminated) load over the active topology.
+func (e *Engine) discrepancies() (maxAvg, maxMin, potential float64) {
+	var speedSum int64
+	for i := 0; i < e.topo.NodeSlots(); i++ {
+		if e.topo.Active(i) {
+			speedSum += e.s[i]
+		}
+	}
+	if speedSum == 0 {
+		return 0, 0, 0
+	}
+	ratio := float64(e.expectedReal) / float64(speedSum)
+	hi, lo := math.Inf(-1), math.Inf(1)
+	for i := 0; i < e.topo.NodeSlots(); i++ {
+		if !e.topo.Active(i) {
+			continue
+		}
+		real := float64(e.st[i].RealWeight())
+		m := real / float64(e.s[i])
+		hi = math.Max(hi, m)
+		lo = math.Min(lo, m)
+		dev := real - float64(e.s[i])*ratio
+		potential += dev * dev
+	}
+	return hi - ratio, hi - lo, potential
+}
+
+// sample appends one metrics sample to the ring.
+func (e *Engine) sample(elapsed time.Duration) {
+	maxAvg, maxMin, potential := e.discrepancies()
+	e.ring.append(Sample{
+		Round:     e.round,
+		Nodes:     e.topo.NumNodes(),
+		Edges:     e.topo.NumEdges(),
+		MaxAvg:    maxAvg,
+		MaxMin:    maxMin,
+		Potential: potential,
+		Dummies:   e.DummiesCreated(),
+		RealTotal: e.expectedReal,
+		Events:    e.eventsApplied,
+		StepNanos: elapsed.Nanoseconds(),
+	})
+}
+
+// Samples returns up to max metrics samples in chronological order (all
+// buffered samples when max <= 0).
+func (e *Engine) Samples(max int) []Sample { return e.ring.Samples(max) }
+
+// LastSample returns the most recent metrics sample, if any.
+func (e *Engine) LastSample() (Sample, bool) { return e.ring.Last() }
+
+// Snapshot is a point-in-time summary of the runtime, JSON-friendly for
+// the lbserve daemon.
+type Snapshot struct {
+	Round     int64   `json:"round"`
+	Nodes     int     `json:"nodes"`
+	Edges     int     `json:"edges"`
+	MaxDegree int     `json:"max_degree"`
+	Wmax      int64   `json:"wmax"`
+	RealTotal int64   `json:"real_total"`
+	Dummies   int64   `json:"dummies"`
+	Pending   int     `json:"pending_events"`
+	Events    int64   `json:"events_applied"`
+	MaxAvg    float64 `json:"max_avg"`
+	MaxMin    float64 `json:"max_min"`
+	Bound     float64 `json:"bound"`
+	// NodeIDs lists the active node slots; Loads and RealLoads align with
+	// it. Only populated when requested.
+	NodeIDs   []int       `json:"node_ids,omitempty"`
+	Loads     load.Vector `json:"loads,omitempty"`
+	RealLoads load.Vector `json:"real_loads,omitempty"`
+}
+
+// Snapshot summarizes the current state; includeLoads adds the per-node
+// load vectors.
+func (e *Engine) Snapshot(includeLoads bool) Snapshot {
+	maxAvg, maxMin, _ := e.discrepancies()
+	snap := Snapshot{
+		Round:     e.round,
+		Nodes:     e.topo.NumNodes(),
+		Edges:     e.topo.NumEdges(),
+		MaxDegree: e.topo.MaxDegree(),
+		Wmax:      e.wmax,
+		RealTotal: e.expectedReal,
+		Dummies:   e.DummiesCreated(),
+		Pending:   len(e.queue),
+		Events:    e.eventsApplied,
+		MaxAvg:    maxAvg,
+		MaxMin:    maxMin,
+		Bound:     e.Bound(),
+	}
+	if includeLoads {
+		snap.NodeIDs = e.topo.ActiveNodes()
+		snap.Loads = make(load.Vector, len(snap.NodeIDs))
+		snap.RealLoads = make(load.Vector, len(snap.NodeIDs))
+		for k, i := range snap.NodeIDs {
+			snap.Loads[k] = e.st[i].TotalWeight()
+			snap.RealLoads[k] = e.st[i].RealWeight()
+		}
+	}
+	return snap
+}
+
+// ExportTasks returns the current task distribution compacted to the
+// active nodes (in ActiveNodes order), together with the matching graph
+// snapshot — the handoff point to the batch executions: the result can
+// seed core.FlowImitation or a dist.Cluster to continue the run
+// centralized or distributed.
+func (e *Engine) ExportTasks() (*graph.Graph, load.Speeds, load.TaskDist, error) {
+	g, slots, err := e.topo.Snapshot()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s := make(load.Speeds, len(slots))
+	d := make(load.TaskDist, len(slots))
+	for k, slot := range slots {
+		s[k] = e.s[slot]
+		d[k] = append([]load.Task(nil), e.st[slot].Tasks()...)
+	}
+	return g, s, d, nil
+}

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/load"
+)
+
+// Kind enumerates the event types the runtime consumes.
+type Kind int
+
+const (
+	// KindTaskArrival injects tasks at a node (Definition 3 additivity: new
+	// load simply starts balancing on top of the moving load).
+	KindTaskArrival Kind = iota + 1
+	// KindTaskCompletion removes up to Count finished (non-dummy) tasks
+	// from a node, newest first.
+	KindTaskCompletion
+	// KindNodeJoin activates a new node with the given Speed and attaches
+	// it to the Peers.
+	KindNodeJoin
+	// KindNodeLeave deactivates a node; its tasks are redistributed
+	// round-robin to its neighbours (load conservation) and its continuous
+	// mass follows.
+	KindNodeLeave
+	// KindEdgeChange removes the RemoveEdges and then adds the AddEdges.
+	KindEdgeChange
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindTaskArrival:
+		return "arrival"
+	case KindTaskCompletion:
+		return "completion"
+	case KindNodeJoin:
+		return "join"
+	case KindNodeLeave:
+		return "leave"
+	case KindEdgeChange:
+		return "edge-change"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one unit of the runtime's input stream. At is the round index
+// at which the event fires: all events with At <= Round() are applied, in
+// (At, kind, insertion) order, before the next balancing round executes.
+type Event struct {
+	At   int64
+	Kind Kind
+
+	// Node is the target of arrivals, completions and leaves.
+	Node int
+	// Tasks are the arriving tasks (arrivals only; dummies are rejected).
+	Tasks []load.Task
+	// Count is the number of tasks to complete (completions only).
+	Count int
+	// Speed is the joining node's speed (joins only; 0 means 1).
+	Speed int64
+	// Peers are the joining node's initial neighbours (joins only).
+	Peers []int
+	// AddEdges and RemoveEdges are applied by edge-change events;
+	// removals run first.
+	AddEdges    [][2]int
+	RemoveEdges [][2]int
+}
+
+// Arrival builds a TaskArrival of count unit-weight tokens.
+func Arrival(at int64, node int, count int) Event {
+	tasks := make([]load.Task, count)
+	for i := range tasks {
+		tasks[i] = load.Task{Weight: 1}
+	}
+	return Event{At: at, Kind: KindTaskArrival, Node: node, Tasks: tasks}
+}
+
+// ArrivalTasks builds a TaskArrival of explicit tasks.
+func ArrivalTasks(at int64, node int, tasks []load.Task) Event {
+	return Event{At: at, Kind: KindTaskArrival, Node: node, Tasks: tasks}
+}
+
+// Completion builds a TaskCompletion of count tasks.
+func Completion(at int64, node int, count int) Event {
+	return Event{At: at, Kind: KindTaskCompletion, Node: node, Count: count}
+}
+
+// Join builds a NodeJoin attaching to peers with the given speed.
+func Join(at int64, speed int64, peers ...int) Event {
+	return Event{At: at, Kind: KindNodeJoin, Speed: speed, Peers: peers}
+}
+
+// Leave builds a NodeLeave.
+func Leave(at int64, node int) Event {
+	return Event{At: at, Kind: KindNodeLeave, Node: node}
+}
+
+// EdgeChange builds an edge mutation; remove runs before add.
+func EdgeChange(at int64, add, remove [][2]int) Event {
+	return Event{At: at, Kind: KindEdgeChange, AddEdges: add, RemoveEdges: remove}
+}
+
+// kindRank orders events that fire in the same round: topology growth
+// first (so same-round arrivals can target just-joined nodes), then work
+// stream changes, then departures.
+func kindRank(k Kind) int {
+	switch k {
+	case KindNodeJoin:
+		return 0
+	case KindEdgeChange:
+		return 1
+	case KindTaskArrival:
+		return 2
+	case KindTaskCompletion:
+		return 3
+	case KindNodeLeave:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// queued is an Event with its insertion sequence number for stable ordering.
+type queued struct {
+	ev  Event
+	seq int64
+}
+
+// eventQueue is a priority queue over (At, kindRank, seq).
+type eventQueue []queued
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.ev.At != b.ev.At {
+		return a.ev.At < b.ev.At
+	}
+	if ra, rb := kindRank(a.ev.Kind), kindRank(b.ev.Kind); ra != rb {
+		return ra < rb
+	}
+	return a.seq < b.seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(queued)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+var _ heap.Interface = (*eventQueue)(nil)

@@ -1,0 +1,68 @@
+package engine
+
+import "sync"
+
+// workerPool is the engine's bounded sharding pool: a fixed set of
+// long-lived goroutines executing index-range chunks of the per-node hot
+// path. The per-chunk functions the engine submits touch disjoint state
+// (each node's pool, each edge's single writer), so a chunked parallel-for
+// with a completion barrier is all the coordination the round needs.
+type workerPool struct {
+	workers int
+	jobs    chan poolJob
+}
+
+type poolJob struct {
+	lo, hi int
+	fn     func(i int)
+	wg     *sync.WaitGroup
+}
+
+func newWorkerPool(workers int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &workerPool{
+		workers: workers,
+		jobs:    make(chan poolJob, workers),
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range p.jobs {
+				for i := j.lo; i < j.hi; i++ {
+					j.fn(i)
+				}
+				j.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// forEach runs fn(i) for every i in [0, n), sharded across the pool, and
+// returns when all calls have finished. Small inputs run inline.
+func (p *workerPool) forEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 || n < 2*p.workers {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := (n + p.workers - 1) / p.workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		p.jobs <- poolJob{lo: lo, hi: hi, fn: fn, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// close releases the worker goroutines. The pool must not be used after.
+func (p *workerPool) close() { close(p.jobs) }

@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/load"
+)
+
+// Server exposes a live Engine over HTTP: snapshots, the streaming metrics
+// ring, event injection, and manual stepping. All handlers serialize on an
+// internal mutex, so a Server is the one goroutine-safe facade of an
+// engine.
+//
+//	GET  /healthz            liveness + current round
+//	GET  /snapshot[?loads=1] point-in-time summary (optionally with loads)
+//	GET  /metrics[?n=K]      last K ring samples (all buffered by default)
+//	POST /events             inject one event (JSON body, see eventRequest)
+//	POST /step[?rounds=N]    execute N balancing rounds (default 1)
+type Server struct {
+	mu  sync.Mutex
+	eng *Engine
+}
+
+// NewServer wraps an engine. The caller must not use the engine directly
+// while the server is live except through Do.
+func NewServer(eng *Engine) *Server { return &Server{eng: eng} }
+
+// Do runs fn with the engine lock held — the hook for drivers that step
+// the engine continuously (lbserve's -rate loop) next to live HTTP
+// traffic.
+func (s *Server) Do(fn func(eng *Engine) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fn(s.eng)
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/step", s.handleStep)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	round := s.eng.Round()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "round": round})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	includeLoads := r.URL.Query().Get("loads") == "1"
+	s.mu.Lock()
+	snap := s.eng.Snapshot(includeLoads)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	max := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid n %q", q))
+			return
+		}
+		max = v
+	}
+	s.mu.Lock()
+	samples := s.eng.Samples(max)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"samples": samples})
+}
+
+// eventRequest is the JSON wire form of an injected event. Kind selects
+// the fields that matter (see Event); Tokens is a convenience for
+// unit-weight arrivals, Weight scales them.
+type eventRequest struct {
+	Kind   string `json:"kind"`
+	At     int64  `json:"at"`
+	Node   int    `json:"node"`
+	Tokens int    `json:"tokens"`
+	Weight int64  `json:"weight"`
+	Count  int    `json:"count"`
+	Speed  int64  `json:"speed"`
+	Peers  []int  `json:"peers"`
+	Add    [][2]int
+	Remove [][2]int
+}
+
+func (req *eventRequest) toEvent() (Event, error) {
+	switch req.Kind {
+	case "arrival":
+		if req.Tokens < 1 {
+			return Event{}, fmt.Errorf("arrival needs tokens >= 1, got %d", req.Tokens)
+		}
+		weight := req.Weight
+		if weight == 0 {
+			weight = 1
+		}
+		if weight < 1 {
+			return Event{}, fmt.Errorf("arrival weight %d must be >= 1", weight)
+		}
+		tasks := make([]load.Task, req.Tokens)
+		for i := range tasks {
+			tasks[i] = load.Task{Weight: weight}
+		}
+		return ArrivalTasks(req.At, req.Node, tasks), nil
+	case "completion":
+		if req.Count < 1 {
+			return Event{}, fmt.Errorf("completion needs count >= 1, got %d", req.Count)
+		}
+		return Completion(req.At, req.Node, req.Count), nil
+	case "join":
+		return Join(req.At, req.Speed, req.Peers...), nil
+	case "leave":
+		return Leave(req.At, req.Node), nil
+	case "edge-change":
+		if len(req.Add) == 0 && len(req.Remove) == 0 {
+			return Event{}, fmt.Errorf("edge-change needs add or remove entries")
+		}
+		return EdgeChange(req.At, req.Add, req.Remove), nil
+	default:
+		return Event{}, fmt.Errorf("unknown event kind %q", req.Kind)
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req eventRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode event: %w", err))
+		return
+	}
+	ev, err := req.toEvent()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	err = s.eng.Schedule(ev)
+	round := s.eng.Round()
+	pending := s.eng.PendingEvents()
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	at := ev.At
+	if at < round {
+		at = round
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"scheduled": true, "kind": req.Kind, "at": at, "pending": pending,
+	})
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	rounds := 1
+	if q := r.URL.Query().Get("rounds"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 || v > 100_000 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid rounds %q (1..100000)", q))
+			return
+		}
+		rounds = v
+	}
+	// Step in small chunks, releasing the lock between them, so health
+	// probes and snapshots stay responsive during long runs.
+	var last Sample
+	for done := 0; done < rounds; {
+		chunk := rounds - done
+		if chunk > 64 {
+			chunk = 64
+		}
+		s.mu.Lock()
+		err := s.eng.Run(chunk)
+		last, _ = s.eng.LastSample()
+		s.mu.Unlock()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		done += chunk
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"stepped": rounds, "sample": last})
+}

@@ -7,6 +7,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/graph"
@@ -160,6 +161,86 @@ func DummyFloorTasks(dist load.TaskDist, s load.Speeds, ell int64) (load.TaskDis
 	for i := range out {
 		for k := int64(0); k < ell*s[i]; k++ {
 			out[i] = append(out[i], load.Task{Weight: 1, Dummy: true})
+		}
+	}
+	return out, nil
+}
+
+// Arrival is one scheduled batch of task arrivals for the event-driven
+// engine: Tasks land on Node at round Round.
+type Arrival struct {
+	Round int64
+	Node  int
+	Tasks []load.Task
+}
+
+// poisson draws a Poisson(rate)-distributed count (Knuth's product
+// method; fine for the modest rates arrival processes use).
+func poisson(rate float64, rng *rand.Rand) int {
+	threshold := math.Exp(-rate)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= threshold {
+			return k
+		}
+		k++
+	}
+}
+
+// PoissonBursts models bursty online traffic: in every round of
+// [0, rounds), a Poisson(rate) number of bursts arrive, each landing on a
+// uniformly random node with burst tasks of weight drawn uniformly from
+// {1..wmax}.
+func PoissonBursts(n, rounds int, rate float64, burst int, wmax int64, rng *rand.Rand) ([]Arrival, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: need at least one node, got %d", n)
+	}
+	if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("workload: invalid burst rate %v", rate)
+	}
+	if burst < 1 {
+		return nil, fmt.Errorf("workload: burst size %d must be >= 1", burst)
+	}
+	if wmax < 1 {
+		return nil, fmt.Errorf("workload: wmax %d must be >= 1", wmax)
+	}
+	var out []Arrival
+	for r := 0; r < rounds; r++ {
+		for k := poisson(rate, rng); k > 0; k-- {
+			tasks := make([]load.Task, burst)
+			for i := range tasks {
+				tasks[i] = load.Task{Weight: 1 + rng.Int63n(wmax)}
+			}
+			out = append(out, Arrival{Round: int64(r), Node: rng.Intn(n), Tasks: tasks})
+		}
+	}
+	return out, nil
+}
+
+// HotspotIngress models a fixed set of ingress nodes receiving steady
+// traffic: every ingress node gets perRound unit-weight tasks in every
+// round of [start, start+rounds).
+func HotspotIngress(ingress []int, start, rounds int64, perRound, n int) ([]Arrival, error) {
+	if len(ingress) == 0 {
+		return nil, fmt.Errorf("workload: need at least one ingress node")
+	}
+	for _, node := range ingress {
+		if node < 0 || node >= n {
+			return nil, fmt.Errorf("workload: ingress node %d out of range [0,%d)", node, n)
+		}
+	}
+	if perRound < 1 {
+		return nil, fmt.Errorf("workload: perRound %d must be >= 1", perRound)
+	}
+	var out []Arrival
+	for r := int64(0); r < rounds; r++ {
+		for _, node := range ingress {
+			tasks := make([]load.Task, perRound)
+			for i := range tasks {
+				tasks[i] = load.Task{Weight: 1}
+			}
+			out = append(out, Arrival{Round: start + r, Node: node, Tasks: tasks})
 		}
 	}
 	return out, nil

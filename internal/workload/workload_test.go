@@ -237,3 +237,82 @@ func TestGeneratorsConserveTotalProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPoissonBursts(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	arr, err := PoissonBursts(100, 50, 2.0, 10, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected bursts ~ 50*2 = 100; allow a wide band.
+	if len(arr) < 40 || len(arr) > 200 {
+		t.Fatalf("got %d bursts, want ~100", len(arr))
+	}
+	for _, a := range arr {
+		if a.Round < 0 || a.Round >= 50 {
+			t.Fatalf("burst round %d out of range", a.Round)
+		}
+		if a.Node < 0 || a.Node >= 100 {
+			t.Fatalf("burst node %d out of range", a.Node)
+		}
+		if len(a.Tasks) != 10 {
+			t.Fatalf("burst size %d, want 10", len(a.Tasks))
+		}
+		for _, q := range a.Tasks {
+			if q.Weight < 1 || q.Weight > 3 || q.Dummy {
+				t.Fatalf("bad burst task %+v", q)
+			}
+		}
+	}
+	// Zero rate produces no bursts; invalid parameters fail.
+	if arr, err := PoissonBursts(10, 20, 0, 5, 1, rng); err != nil || len(arr) != 0 {
+		t.Fatalf("zero rate: %v, %d bursts", err, len(arr))
+	}
+	for name, call := range map[string]func() ([]Arrival, error){
+		"no-nodes":  func() ([]Arrival, error) { return PoissonBursts(0, 10, 1, 5, 1, rng) },
+		"neg-rate":  func() ([]Arrival, error) { return PoissonBursts(10, 10, -1, 5, 1, rng) },
+		"zero-size": func() ([]Arrival, error) { return PoissonBursts(10, 10, 1, 0, 1, rng) },
+		"bad-wmax":  func() ([]Arrival, error) { return PoissonBursts(10, 10, 1, 5, 0, rng) },
+	} {
+		if _, err := call(); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestHotspotIngress(t *testing.T) {
+	arr, err := HotspotIngress([]int{3, 7}, 5, 4, 6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 8 { // 4 rounds x 2 ingress nodes
+		t.Fatalf("got %d arrivals, want 8", len(arr))
+	}
+	var total int64
+	for _, a := range arr {
+		if a.Round < 5 || a.Round >= 9 {
+			t.Fatalf("arrival round %d out of [5,9)", a.Round)
+		}
+		if a.Node != 3 && a.Node != 7 {
+			t.Fatalf("arrival node %d", a.Node)
+		}
+		for _, q := range a.Tasks {
+			if q.Weight != 1 || q.Dummy {
+				t.Fatalf("bad task %+v", q)
+			}
+			total += q.Weight
+		}
+	}
+	if total != 8*6 {
+		t.Fatalf("total arrived weight %d, want 48", total)
+	}
+	if _, err := HotspotIngress(nil, 0, 1, 1, 10); err == nil {
+		t.Error("empty ingress accepted")
+	}
+	if _, err := HotspotIngress([]int{10}, 0, 1, 1, 10); err == nil {
+		t.Error("out-of-range ingress accepted")
+	}
+	if _, err := HotspotIngress([]int{0}, 0, 1, 0, 10); err == nil {
+		t.Error("zero perRound accepted")
+	}
+}
