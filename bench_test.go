@@ -407,6 +407,48 @@ func BenchmarkEngineStep(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineBurst measures the event-heavy regime: per iteration a
+// burst of 1024 arrival events (4 unit tokens each) plus 1024 matching
+// completion events all due in the same round on a 10k-node torus,
+// followed by one balancing round. Completions fire after arrivals
+// (event-kind ordering), so the in-flight load stays bounded across
+// iterations and the measurement isolates per-event overhead — the cost
+// of conservation accounting under bursts.
+func BenchmarkEngineBurst(b *testing.B) {
+	const events = 1024
+	g, err := discretelb.NewTorus(100, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := discretelb.UniformSpeeds(g.N())
+	tokens := discretelb.UniformRandomLoad(g.N(), 8*int64(g.N()), rand.New(rand.NewSource(1)))
+	tasks, err := discretelb.NewTokens(tokens)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := discretelb.NewEngine(discretelb.EngineConfig{Graph: g, Speeds: s, Tasks: tasks})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := eng.Round()
+		for k := 0; k < events; k++ {
+			node := (k * 9) % g.N()
+			if err := eng.Schedule(discretelb.EngineArrival(at, node, 4)); err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Schedule(discretelb.EngineCompletion(at, node, 4)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEngineChurn measures topology-event cost: per iteration one
 // NodeJoin (three peers) and one NodeLeave of the joined node, each
 // followed by a balancing round — covering neighbourhood α rebuilds, load

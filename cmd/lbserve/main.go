@@ -5,7 +5,7 @@
 // Usage:
 //
 //	lbserve -addr :8080 -graph torus:32 [-tokens 8] [-maxspeed 1]
-//	        [-workers 0] [-window 4096] [-rate 50] [-seed 1]
+//	        [-workers 0] [-window 4096] [-rate 50] [-seed 1] [-audit]
 //
 // Endpoints:
 //
@@ -19,16 +19,27 @@
 //	POST /step[?rounds=N]    execute N balancing rounds
 //
 // With -rate R the daemon steps the engine R times per second on its own;
-// with -rate 0 rounds only advance through POST /step.
+// with -rate 0 rounds only advance through POST /step. With -audit the
+// engine runs the full conservation recount after every applied event
+// (deep audit) instead of the default O(1) incremental ledger check.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// get a drain window, the auto-step loop stops, and the engine's worker
+// pool is released.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/cli"
@@ -55,6 +66,7 @@ func run() error {
 		window    = flag.Int("window", 4096, "metrics ring capacity")
 		sample    = flag.Int("sample", 1, "take a metrics sample every N rounds")
 		rate      = flag.Float64("rate", 0, "rounds per second to step automatically (0 = manual /step)")
+		audit     = flag.Bool("audit", false, "deep audit: full conservation recount after every applied event")
 	)
 	flag.Parse()
 
@@ -109,29 +121,86 @@ func run() error {
 		Workers:       *workers,
 		MetricsWindow: *window,
 		SampleEvery:   *sample,
+		DeepAudit:     *audit,
 	})
 	if err != nil {
 		return err
 	}
-	defer eng.Close()
+	// Read before the auto-step goroutine and listener start: after that,
+	// the engine is only safe to touch through the server mutex.
+	initialW := eng.RealTotal()
 	sv := engine.NewServer(eng)
+	// Close under the server mutex: if Shutdown abandoned a slow /step
+	// handler at its deadline, the handler still drives the engine between
+	// lock windows — closing through Do serializes with it, and its next
+	// chunk fails cleanly with ErrClosed instead of racing a closed pool.
+	defer func() {
+		_ = sv.Do(func(e *engine.Engine) error { e.Close(); return nil })
+	}()
+
+	// Shutdown order (LIFO): cancel the context, wait for the auto-step
+	// loop to exit, then close the engine's worker pool.
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *rate > 0 {
 		interval := time.Duration(float64(time.Second) / *rate)
+		if interval <= 0 {
+			// A rate above 1e9 rounds/s truncates to zero, which
+			// time.NewTicker rejects; tick as fast as the runtime allows.
+			interval = time.Nanosecond
+		}
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
 			ticker := time.NewTicker(interval)
 			defer ticker.Stop()
-			for range ticker.C {
-				if err := sv.Do(func(e *engine.Engine) error { return e.Step() }); err != nil {
-					// Invalid injected events are rejected atomically at
-					// apply time; log and keep balancing.
-					log.Printf("lbserve: step: %v", err)
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					err := sv.Do(func(e *engine.Engine) error { return e.Step() })
+					switch {
+					case err == nil:
+					case errors.Is(err, engine.ErrInconsistent), errors.Is(err, engine.ErrClosed):
+						// A corrupt (or closed) engine must not be stepped
+						// further; stop auto-stepping but keep serving
+						// snapshots and metrics for the postmortem.
+						log.Printf("lbserve: auto-step stopped: %v", err)
+						return
+					default:
+						// Invalid injected events are rejected atomically at
+						// apply time; log and keep balancing.
+						log.Printf("lbserve: step: %v", err)
+					}
 				}
 			}
 		}()
 	}
 
-	log.Printf("lbserve: %s (n=%d, m=%d, W=%d) listening on %s (rate=%v rounds/s)",
-		*graphSpec, g.N(), g.M(), eng.RealTotal(), *addr, *rate)
-	return http.ListenAndServe(*addr, sv.Handler())
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           sv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	log.Printf("lbserve: %s (n=%d, m=%d, W=%d) listening on %s (rate=%v rounds/s, audit=%v)",
+		*graphSpec, g.N(), g.M(), initialW, *addr, *rate, *audit)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Printf("lbserve: signal received, shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(sctx)
+	}
 }

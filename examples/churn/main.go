@@ -70,7 +70,9 @@ func main() {
 		}
 	}
 
-	if err := eng.CheckConservation(); err != nil {
+	// The event loop validated the incremental ledger as it went; the
+	// quiescence check is the stop-the-world recount.
+	if err := eng.AuditFull(); err != nil {
 		log.Fatal(err)
 	}
 	extra, ok, err := eng.RunUntilBound(5000)

@@ -198,6 +198,16 @@ func (st *SendState) TotalWeight() int64 { return st.wTotal }
 // RealWeight returns the pool's non-dummy task weight.
 func (st *SendState) RealWeight() int64 { return st.wReal }
 
+// Counters returns the pool's two incremental weight counters — total
+// weight (dummy tokens included) and non-dummy weight — in one call. It
+// is the hook engines use to fold a mutation's pool deltas into an
+// aggregate conservation ledger in O(1), without rescanning the pool:
+// read the counters, mutate the pool, read them again, ledger the
+// difference.
+func (st *SendState) Counters() (total, real int64) {
+	return st.wTotal, st.wReal
+}
+
 // Loads returns the per-node total task weight, including dummy tokens,
 // for a cluster's per-node states.
 func Loads(states []*SendState) load.Vector {

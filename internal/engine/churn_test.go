@@ -169,7 +169,7 @@ func TestEngineChurnProperties(t *testing.T) {
 		if got, hi := e.RealTotal(), 3000+arrived; got > hi || got < hi-3*completedBudget {
 			t.Fatalf("seed %d: real total %d outside [%d, %d]", seed, got, hi-3*completedBudget, hi)
 		}
-		if err := e.CheckConservation(); err != nil {
+		if err := e.AuditFull(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 
@@ -268,7 +268,7 @@ func TestEngine10kTorusEndToEnd(t *testing.T) {
 		t.Fatalf("10k torus: max-avg %.2f above bound %.1f after %d rounds (dummies %d)",
 			e.MaxAvg(), e.Bound(), rounds, e.DummiesCreated())
 	}
-	if err := e.CheckConservation(); err != nil {
+	if err := e.AuditFull(); err != nil {
 		t.Fatal(err)
 	}
 	snap := e.Snapshot(false)

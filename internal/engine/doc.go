@@ -19,9 +19,17 @@
 // An Engine therefore consumes a priority event stream (TaskArrival,
 // TaskCompletion, NodeJoin, NodeLeave, EdgeChange) interleaved with
 // balancing rounds over a mutable topology (graph.Dynamic). Load from
-// departing nodes is redistributed to their neighbours and conservation of
-// non-dummy weight is asserted at every event boundary. The per-node hot
-// path (send decisions via core.Forward over dist.SendState pools) is
+// departing nodes is redistributed to their neighbours, and conservation
+// of non-dummy weight is enforced by an incremental ledger: every event
+// folds the pool-counter deltas of the pools it touched into O(1) running
+// totals, every round folds its dummy draws, and the event loop validates
+// the totals once per event batch in O(1) — a burst of k arrivals costs
+// O(k), not k stop-the-world recounts. The full recount survives as
+// Engine.AuditFull: the opt-in deep-audit mode (Config.DeepAudit,
+// WithDeepAudit, lbserve -audit) runs it after every applied event, tests
+// invoke it at quiescence, and a ledger mismatch falls back to it for a
+// precise per-node diagnostic. The per-node hot path (send decisions via
+// core.Forward over dist.SendState pools) is
 // sharded across a bounded worker pool, so large graphs step in parallel;
 // results are bit-for-bit independent of the worker count, and on a static
 // topology with no events identical to core.FlowImitation over FOS.

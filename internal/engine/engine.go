@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/continuous"
@@ -32,6 +33,11 @@ type Config struct {
 	// SampleEvery takes a metrics sample every that many rounds;
 	// 0 means every round.
 	SampleEvery int
+	// DeepAudit forces the stop-the-world conservation recount
+	// (AuditFull) after every applied event, restoring the exhaustive
+	// per-event diagnostics. The default is the O(1) incremental ledger
+	// check once per event batch; see WithDeepAudit.
+	DeepAudit bool
 }
 
 // outMsg is one round's batch on an edge: the receiving node slot and the
@@ -83,18 +89,55 @@ type Engine struct {
 
 	// expectedReal is the conserved non-dummy task weight: initial load
 	// plus arrivals minus completions. retiredDummies preserves the
-	// dummy-creation counters of departed nodes.
+	// dummy-creation counters of departed nodes (plus any dummy tokens
+	// imported with the initial distribution, e.g. a handoff from a
+	// previous execution via ExportTasks).
 	expectedReal   int64
 	retiredDummies int64
 	eventsApplied  int64
 
+	// The incremental conservation ledger: ledReal and ledTotal aggregate
+	// the dist.SendState weight counters over the active pools, ledCreated
+	// is the cumulative dummy weight ever drawn (departed nodes and
+	// imported dummies included). Every event application folds the pool
+	// counter deltas of the pools it touched into the ledger in O(1), and
+	// each balancing round folds the dummy draws its send phase
+	// accumulated in roundDummies; checkLedger validates the conservation
+	// invariants against expectedReal in O(1), with AuditFull as the
+	// recount fallback that turns a mismatch into a precise diagnostic.
+	ledReal      int64
+	ledTotal     int64
+	ledCreated   int64
+	roundDummies atomic.Int64
+
+	// speedSum is the total speed of the active nodes, maintained across
+	// joins and leaves so the metrics path needs no per-node speed scan.
+	speedSum int64
+
+	// deepAudit runs AuditFull after every applied event; fullAudits
+	// counts recounts (the default event path performs none).
+	deepAudit  bool
+	fullAudits int64
+
 	ring        *Ring
 	sampleEvery int
 	closed      bool
+
+	// poisoned latches the first ErrInconsistent Step failure so every
+	// later Step fails with it too — the "must not be stepped further"
+	// contract is enforced by the engine, not left to each driver.
+	poisoned error
 }
 
 // ErrClosed is returned by operations on a closed engine.
 var ErrClosed = errors.New("engine: closed")
+
+// ErrInconsistent marks Step errors that mean the engine state itself is
+// corrupt (a ledger mismatch or failed deep audit), as opposed to a
+// rejected invalid event. Drivers must stop stepping an engine after an
+// error matching errors.Is(err, ErrInconsistent); after a rejected event
+// the engine stays fully usable.
+var ErrInconsistent = errors.New("engine state inconsistent")
 
 // New builds a runtime from the initial topology, speeds and tasks and
 // starts its worker pool. Call Close to release the pool.
@@ -146,13 +189,24 @@ func New(cfg Config) (*Engine, error) {
 		wmax:        tasks.MaxWeight(),
 		ring:        newRing(window),
 		sampleEvery: sampleEvery,
+		deepAudit:   cfg.DeepAudit,
 	}
 	copy(e.s, cfg.Speeds)
+	for _, sp := range cfg.Speeds {
+		e.speedSum += sp
+	}
 	for i := 0; i < g.N(); i++ {
 		e.st[i] = dist.NewSendState(tasks[i], 0)
-		e.x[i] = float64(e.st[i].TotalWeight())
-		e.expectedReal += e.st[i].RealWeight()
+		total, real := e.st[i].Counters()
+		e.x[i] = float64(total)
+		e.expectedReal += real
+		e.ledTotal += total
+		e.ledReal += real
 	}
+	// Dummy tokens in the initial distribution (a handoff from a previous
+	// execution) count as already drawn from the infinite source.
+	e.retiredDummies = e.ledTotal - e.ledReal
+	e.ledCreated = e.retiredDummies
 	alpha, err := continuous.DefaultAlphas(g, cfg.Speeds)
 	if err != nil {
 		e.pool.close()
@@ -197,16 +251,26 @@ func (e *Engine) EventsApplied() int64 { return e.eventsApplied }
 func (e *Engine) Topology() *graph.Dynamic { return e.topo }
 
 // DummiesCreated returns the cumulative dummy weight drawn from the
-// infinite source, including by nodes that have since left.
-func (e *Engine) DummiesCreated() int64 {
-	total := e.retiredDummies
-	for i, st := range e.st {
-		if e.topo.Active(i) {
-			total += st.Dummies()
-		}
-	}
-	return total
+// infinite source, including by nodes that have since left and dummy
+// tokens imported with the initial distribution. It reads the incremental
+// ledger, so it is O(1).
+func (e *Engine) DummiesCreated() int64 { return e.ledCreated }
+
+// WithDeepAudit toggles deep-audit mode and returns the engine. With deep
+// audit on, every applied event is followed by the stop-the-world
+// AuditFull recount — the exhaustive O(n·W) diagnostic posture. With it
+// off (the default), the event loop validates the incremental conservation
+// ledger in O(1) once per event batch and only falls back to AuditFull
+// when the ledger disagrees. lbserve exposes this as -audit.
+func (e *Engine) WithDeepAudit(on bool) *Engine {
+	e.deepAudit = on
+	return e
 }
+
+// FullAudits returns how many times the full conservation recount
+// (AuditFull) has run — in default mode, zero unless a caller invoked it
+// or a ledger mismatch forced a diagnostic.
+func (e *Engine) FullAudits() int64 { return e.fullAudits }
 
 // Bound returns the Theorem 3 discrepancy bound 2·d·wmax + 2 for the
 // current topology and task weights.
@@ -233,23 +297,75 @@ func (e *Engine) Schedule(ev Event) error {
 	return nil
 }
 
-// Step applies all events due at the current round, executes one balancing
-// round, and (per SampleEvery) appends a metrics sample. Event application
-// asserts load conservation; a conservation failure is fatal.
+// Step drains every event due at the current round as one batch, executes
+// one balancing round, and (per SampleEvery) appends a metrics sample.
+//
+// Each event in the batch is applied atomically — a rejected event (bad
+// node, invalid topology change) mutates nothing — and conservation is
+// validated against the incremental ledger in O(1) once at the batch
+// boundary, so a burst of k arrivals costs O(k) before balancing rather
+// than k full pool recounts. With deep audit enabled (Config.DeepAudit,
+// WithDeepAudit), AuditFull runs after every applied event instead.
+//
+// Partial-progress contract: if an event mid-batch fails, the events
+// applied before it in the same batch STAY applied, the remaining due
+// events stay queued, and neither the balancing round nor the round
+// counter advances — a subsequent Step picks up the rest of the batch.
+// The applied prefix is still ledger-validated, so a conservation
+// violation it caused surfaces as ErrInconsistent on this Step rather
+// than being misattributed to a later batch.
+// A metrics sample is always emitted on the error path so streaming
+// consumers (/metrics) observe the state the engine stopped in instead of
+// freezing at the pre-error round. A validation error from a rejected
+// event leaves the engine fully usable; an error matching
+// errors.Is(err, ErrInconsistent) (ledger mismatch, failed deep audit)
+// means the engine state is corrupt: the failure is latched, and every
+// subsequent Step returns it without stepping — read-only inspection
+// (Snapshot, metrics, AuditFull) stays available for the postmortem.
 func (e *Engine) Step() error {
 	if e.closed {
 		return ErrClosed
 	}
+	if e.poisoned != nil {
+		return e.poisoned
+	}
 	start := time.Now()
+	applied := 0
+	var stepErr error
 	for len(e.queue) > 0 && e.queue[0].ev.At <= e.round {
 		ev := heap.Pop(&e.queue).(queued).ev
 		if err := e.applyEvent(ev); err != nil {
-			return fmt.Errorf("engine: round %d %s event: %w", e.round, ev.Kind, err)
+			stepErr = fmt.Errorf("engine: round %d %s event: %w", e.round, ev.Kind, err)
+			break
 		}
 		e.eventsApplied++
-		if err := e.CheckConservation(); err != nil {
-			return fmt.Errorf("engine: round %d after %s event: %w", e.round, ev.Kind, err)
+		applied++
+		if e.deepAudit {
+			if err := e.AuditFull(); err != nil {
+				stepErr = fmt.Errorf("engine: round %d after %s event: %w: %w", e.round, ev.Kind, ErrInconsistent, err)
+				break
+			}
 		}
+	}
+	if applied > 0 && !errors.Is(stepErr, ErrInconsistent) {
+		// Validate even when a rejection stopped the batch early: the
+		// applied prefix stays applied, so it must be ledger-checked now —
+		// deferring to the next batch would let a violation hide behind a
+		// "fully usable" rejection error and then be misattributed.
+		if err := e.checkLedger(); err != nil {
+			ledErr := fmt.Errorf("engine: round %d after %d-event batch: %w: %w", e.round, applied, ErrInconsistent, err)
+			if stepErr != nil {
+				ledErr = fmt.Errorf("%w (batch stopped early by: %v)", ledErr, stepErr)
+			}
+			stepErr = ledErr
+		}
+	}
+	if stepErr != nil {
+		if errors.Is(stepErr, ErrInconsistent) {
+			e.poisoned = stepErr
+		}
+		e.sample(time.Since(start))
+		return stepErr
 	}
 	e.runRound()
 	if e.round%int64(e.sampleEvery) == 0 {
@@ -319,6 +435,7 @@ func (e *Engine) runRound() {
 		}
 		st := e.st[i]
 		st.BeginRound()
+		dummies0 := st.Dummies()
 		for _, a := range e.topo.Neighbors(i) {
 			g := e.gap[a.Edge]
 			if a.Out < 0 {
@@ -332,7 +449,20 @@ func (e *Engine) runRound() {
 			e.fD[a.Edge] += int64(a.Out) * sent
 			e.outbox[a.Edge] = outMsg{to: a.To, tasks: batch}
 		}
+		// Dummy draws are the only way a round changes total pool weight
+		// (task forwards conserve it: every batch written here is consumed
+		// by exactly its receiver in the delivery phase). Nodes that drew
+		// none — the steady path — pay nothing.
+		if d := st.Dummies() - dummies0; d != 0 {
+			e.roundDummies.Add(d)
+		}
 	})
+	// Fold this round's dummy draws into the ledger (serial: forEach is a
+	// completion barrier).
+	if d := e.roundDummies.Swap(0); d != 0 {
+		e.ledTotal += d
+		e.ledCreated += d
+	}
 	// Phase 3: deliveries, sharded by receiver. The outbox is read-only in
 	// this phase (slots are reset at the start of the next round), so both
 	// endpoints may inspect an edge's slot concurrently; only the receiver
@@ -380,11 +510,34 @@ func (e *Engine) applyEvent(ev Event) error {
 	}
 }
 
+// mutateLedgered runs mutate against node i's pool and folds the pool's
+// counter deltas into the conservation ledger. Every event-path pool
+// mutation goes through here so the fold cannot be forgotten. It returns
+// the non-dummy weight delta (negative for removals).
+func (e *Engine) mutateLedgered(i int, mutate func(st *dist.SendState)) (dReal int64) {
+	st := e.st[i]
+	total0, real0 := st.Counters()
+	mutate(st)
+	total, real := st.Counters()
+	e.ledTotal += total - total0
+	e.ledReal += real - real0
+	return real - real0
+}
+
+// addTasksLedgered appends a batch to node i's pool and folds the pool's
+// counter deltas into the conservation ledger — the one way event
+// application may grow a pool.
+func (e *Engine) addTasksLedgered(i int, batch []load.Task) {
+	e.mutateLedgered(i, func(st *dist.SendState) { st.AddTasks(batch) })
+}
+
 func (e *Engine) applyArrival(ev Event) error {
 	if !e.topo.Active(ev.Node) {
 		return fmt.Errorf("arrival at inactive node %d", ev.Node)
 	}
-	var w int64
+	// Validate the whole batch before mutating anything (wmax included),
+	// so a rejected arrival is atomic.
+	var w, maxW int64
 	for _, q := range ev.Tasks {
 		if q.Weight < 1 {
 			return fmt.Errorf("arriving task has weight %d", q.Weight)
@@ -393,11 +546,14 @@ func (e *Engine) applyArrival(ev Event) error {
 			return errors.New("dummy tasks cannot arrive")
 		}
 		w += q.Weight
-		if q.Weight > e.wmax {
-			e.wmax = q.Weight
+		if q.Weight > maxW {
+			maxW = q.Weight
 		}
 	}
-	e.st[ev.Node].AddTasks(ev.Tasks)
+	if maxW > e.wmax {
+		e.wmax = maxW
+	}
+	e.addTasksLedgered(ev.Node, ev.Tasks)
 	e.x[ev.Node] += float64(w)
 	e.expectedReal += w
 	return nil
@@ -410,11 +566,9 @@ func (e *Engine) applyCompletion(ev Event) error {
 	if ev.Count < 0 {
 		return fmt.Errorf("negative completion count %d", ev.Count)
 	}
-	removed := e.st[ev.Node].RemoveNewestReal(ev.Count)
-	var w int64
-	for _, q := range removed {
-		w += q.Weight
-	}
+	// RemoveNewestReal touches only non-dummy tasks, so the ledger's real
+	// delta is exactly the weight completed.
+	w := -e.mutateLedgered(ev.Node, func(st *dist.SendState) { st.RemoveNewestReal(ev.Count) })
 	e.x[ev.Node] -= float64(w)
 	e.expectedReal -= w
 	return nil
@@ -444,6 +598,7 @@ func (e *Engine) applyJoin(ev Event) (int, error) {
 	slot := e.topo.AddNode()
 	e.growNode(slot)
 	e.s[slot] = speed
+	e.speedSum += speed
 	e.x[slot] = 0
 	e.st[slot] = dist.NewSendState(nil, 0)
 	for _, p := range ev.Peers {
@@ -467,7 +622,12 @@ func (e *Engine) applyLeave(ev Event) error {
 		return errors.New("last node cannot leave")
 	}
 	neigh := append([]graph.Arc(nil), e.topo.Neighbors(node)...)
-	tasks := e.st[node].Drain()
+	// Drain zeroes the pool's weight counters (the cumulative dummy-draw
+	// counter survives for retirement below); the ledger gives the weight
+	// back as the redistribution buckets land on the recipients, so a
+	// dropped bucket shows up as a ledger deficit at the batch boundary.
+	var tasks []load.Task
+	e.mutateLedgered(node, func(st *dist.SendState) { tasks = st.Drain() })
 	e.retiredDummies += e.st[node].Dummies()
 	removed, err := e.topo.RemoveNode(node)
 	if err != nil {
@@ -494,12 +654,13 @@ func (e *Engine) applyLeave(ev Event) error {
 	share := e.x[node] / float64(len(recipients))
 	for r, b := range buckets {
 		if len(b) > 0 {
-			e.st[recipients[r]].AddTasks(b)
+			e.addTasksLedgered(recipients[r], b)
 		}
 		e.x[recipients[r]] += share
 	}
 	e.x[node] = 0
 	e.st[node] = nil
+	e.speedSum -= e.s[node]
 	e.refreshAlphas(recipients)
 	return nil
 }
@@ -613,12 +774,36 @@ func (e *Engine) clearEdge(id int) {
 	e.outbox[id] = outMsg{}
 }
 
-// CheckConservation recounts every active pool and verifies that (1) the
-// incremental weight counters match the pools, (2) total non-dummy weight
-// equals the initial load plus arrivals minus completions, and (3) total
-// weight equals real weight plus all dummy tokens ever created. It is
-// invoked automatically after every applied event.
-func (e *Engine) CheckConservation() error {
+// checkLedger validates the O(1) conservation invariants the incremental
+// ledger maintains: the aggregated non-dummy pool weight must equal the
+// event accounting (initial load plus arrivals minus completions), and the
+// aggregated total weight must exceed it by exactly the dummy weight ever
+// drawn. On a mismatch it runs AuditFull so the error pinpoints the node
+// or counter that drifted.
+func (e *Engine) checkLedger() error {
+	if e.ledReal == e.expectedReal && e.ledTotal == e.ledReal+e.ledCreated {
+		return nil
+	}
+	// The fast invariants failed, so the recount cannot pass: either a
+	// pool disagrees with the ledger (drift) or the pools agree and the
+	// aggregate itself violates conservation — AuditFull names which.
+	return e.AuditFull()
+}
+
+// AuditFull is the stop-the-world conservation audit: it recounts every
+// task in every active pool and verifies that (1) each pool's incremental
+// weight counters match its contents, (2) the engine's conservation ledger
+// matches the pool aggregates, (3) total non-dummy weight equals the
+// initial load plus arrivals minus completions, and (4) total weight
+// equals real weight plus every dummy token ever drawn.
+//
+// The default event path never calls it — Step validates the incremental
+// ledger in O(1) per event batch and falls back to AuditFull only on a
+// mismatch, to produce a precise diagnostic. Deep-audit mode
+// (Config.DeepAudit, WithDeepAudit, lbserve -audit) restores the recount
+// after every applied event; tests invoke it at quiescence.
+func (e *Engine) AuditFull() error {
+	e.fullAudits++
 	var total, real int64
 	created := e.retiredDummies
 	for i := 0; i < e.topo.NodeSlots(); i++ {
@@ -641,6 +826,10 @@ func (e *Engine) CheckConservation() error {
 		real += r
 		created += st.Dummies()
 	}
+	if total != e.ledTotal || real != e.ledReal || created != e.ledCreated {
+		return fmt.Errorf("ledger drift: pools hold total=%d real=%d created=%d but ledger says total=%d real=%d created=%d",
+			total, real, created, e.ledTotal, e.ledReal, e.ledCreated)
+	}
 	if real != e.expectedReal {
 		return fmt.Errorf("real load %d != expected %d (conservation violated)", real, e.expectedReal)
 	}
@@ -650,6 +839,12 @@ func (e *Engine) CheckConservation() error {
 	return nil
 }
 
+// CheckConservation is the historical name of the full recount.
+//
+// Deprecated: use AuditFull (same behaviour); the per-event invocation it
+// used to imply is now the opt-in deep-audit mode.
+func (e *Engine) CheckConservation() error { return e.AuditFull() }
+
 // MaxAvg returns the current max-avg discrepancy of the real load over the
 // active nodes — the Theorem 3 quantity.
 func (e *Engine) MaxAvg() float64 {
@@ -658,18 +853,14 @@ func (e *Engine) MaxAvg() float64 {
 }
 
 // discrepancies computes max-avg, max-min and the quadratic potential of
-// the real (dummy-eliminated) load over the active topology.
+// the real (dummy-eliminated) load over the active topology. The average
+// reads the maintained speedSum and the ledger, so the only scan is the
+// per-node RealWeight pass itself.
 func (e *Engine) discrepancies() (maxAvg, maxMin, potential float64) {
-	var speedSum int64
-	for i := 0; i < e.topo.NodeSlots(); i++ {
-		if e.topo.Active(i) {
-			speedSum += e.s[i]
-		}
-	}
-	if speedSum == 0 {
+	if e.speedSum == 0 {
 		return 0, 0, 0
 	}
-	ratio := float64(e.expectedReal) / float64(speedSum)
+	ratio := float64(e.expectedReal) / float64(e.speedSum)
 	hi, lo := math.Inf(-1), math.Inf(1)
 	for i := 0; i < e.topo.NodeSlots(); i++ {
 		if !e.topo.Active(i) {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"math/rand"
+	"os"
 	"testing"
 
 	"repro/internal/continuous"
@@ -11,9 +12,15 @@ import (
 	"repro/internal/workload"
 )
 
-// mustEngine builds an engine and registers cleanup.
+// mustEngine builds an engine and registers cleanup. The CI deep-audit leg
+// sets ENGINE_DEEP_AUDIT=1 to force the per-event full recount in every
+// engine the suite builds, keeping the AuditFull path exercised under the
+// whole test matrix.
 func mustEngine(t testing.TB, cfg Config) *Engine {
 	t.Helper()
+	if os.Getenv("ENGINE_DEEP_AUDIT") == "1" {
+		cfg.DeepAudit = true
+	}
 	e, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -170,7 +177,7 @@ func TestEngineArrivalAdditivity(t *testing.T) {
 	if got := e.RealTotal(); got != 3000 {
 		t.Fatalf("real total %d, want 3000", got)
 	}
-	if err := e.CheckConservation(); err != nil {
+	if err := e.AuditFull(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -199,7 +206,7 @@ func TestEngineCompletionsShrinkLoad(t *testing.T) {
 	if got := e.RealTotal(); got >= 800 || got < 800-10*int64(g.N()) {
 		t.Fatalf("real total %d after completions, want within [%d, 800)", got, 800-10*g.N())
 	}
-	if err := e.CheckConservation(); err != nil {
+	if err := e.AuditFull(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -257,7 +264,7 @@ func TestEngineEventAtomicity(t *testing.T) {
 	if e.NumNodes() != 3 || e.NumEdges() != 2 {
 		t.Fatalf("rejected join mutated topology: n=%d m=%d", e.NumNodes(), e.NumEdges())
 	}
-	if err := e.CheckConservation(); err != nil {
+	if err := e.AuditFull(); err != nil {
 		t.Fatal(err)
 	}
 

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/load"
 )
@@ -200,6 +201,11 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		}
 		rounds = v
 	}
+	// A full-cap request legitimately runs for minutes on large graphs;
+	// lift the server's write deadline for this response so the sample is
+	// not lost to a global WriteTimeout after the rounds already ran
+	// (best-effort: not every ResponseWriter supports deadlines).
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
 	// Step in small chunks, releasing the lock between them, so health
 	// probes and snapshots stay responsive during long runs.
 	var last Sample
