@@ -6,22 +6,35 @@
 //
 //	lbserve -addr :8080 -graph torus:32 [-tokens 8] [-maxspeed 1]
 //	        [-workers 0] [-window 4096] [-rate 50] [-seed 1] [-audit]
+//	        [-ingest-rate 0] [-ingest-burst 8192] [-ingest-pulse constant]
+//	        [-ingest-floor 0.1] [-ingest-period 10s]
+//	        [-stream-batch 512] [-stream-maxline 65536] [-stream-pending 16384]
 //
 // Endpoints:
 //
-//	GET  /healthz            liveness + current round
-//	GET  /snapshot[?loads=1] point-in-time summary of the runtime
-//	GET  /metrics[?n=K]      the last K streaming metrics samples
-//	POST /events             inject an event, e.g.
-//	                         {"kind":"arrival","node":3,"tokens":500}
-//	                         {"kind":"join","peers":[0,17]}
-//	                         {"kind":"leave","node":9}
-//	POST /step[?rounds=N]    execute N balancing rounds
+//	GET  /healthz                liveness + current round
+//	GET  /snapshot[?loads=1]     point-in-time summary of the runtime
+//	GET  /metrics[?n=K]          the last K streaming metrics samples
+//	POST /events                 inject an event, e.g.
+//	                             {"kind":"arrival","node":3,"tokens":500}
+//	                             {"kind":"join","peers":[0,17]}
+//	                             {"kind":"leave","node":9}
+//	POST /events/stream[?step=S] NDJSON stream of events, one per line,
+//	                             applied in batches with backpressure
+//	POST /step[?rounds=N]        execute N balancing rounds
 //
 // With -rate R the daemon steps the engine R times per second on its own;
 // with -rate 0 rounds only advance through POST /step. With -audit the
 // engine runs the full conservation recount after every applied event
 // (deep audit) instead of the default O(1) incremental ledger check.
+//
+// Streaming ingest: -stream-batch/-stream-maxline/-stream-pending bound
+// the per-request batch size, line length, and the queue depth at which
+// the stream applies backpressure. With -ingest-rate R admission into
+// the stream is paced through a token bucket of R events/s, optionally
+// shaped by -ingest-pulse (sine|square|sawtooth with -ingest-floor as
+// the trough fraction over an -ingest-period cycle) to rehearse diurnal
+// or bursty admission profiles.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get a drain window, the auto-step loop stops, and the engine's worker
@@ -67,6 +80,16 @@ func run() error {
 		sample    = flag.Int("sample", 1, "take a metrics sample every N rounds")
 		rate      = flag.Float64("rate", 0, "rounds per second to step automatically (0 = manual /step)")
 		audit     = flag.Bool("audit", false, "deep audit: full conservation recount after every applied event")
+
+		ingestRate   = flag.Float64("ingest-rate", 0, "stream admission rate in events/s at the pulse crest (0 = unlimited)")
+		ingestBurst  = flag.Int("ingest-burst", 8192, "stream admission burst capacity in events")
+		ingestPulse  = flag.String("ingest-pulse", "constant", "admission pulse shape (constant|sine|square|sawtooth)")
+		ingestFloor  = flag.Float64("ingest-floor", 0.1, "admission pulse trough as a fraction of the crest rate")
+		ingestPeriod = flag.Duration("ingest-period", 10*time.Second, "admission pulse cycle length")
+
+		streamBatch   = flag.Int("stream-batch", 0, "events applied per stream batch (0 = default)")
+		streamMaxline = flag.Int("stream-maxline", 0, "max NDJSON line length in bytes (0 = default)")
+		streamPending = flag.Int("stream-pending", 0, "queue depth that triggers stream backpressure (0 = default)")
 	)
 	flag.Parse()
 
@@ -88,8 +111,29 @@ func run() error {
 	if err := cli.ValidatePositive("sample", int64(*sample)); err != nil {
 		return err
 	}
-	if *rate < 0 {
-		return fmt.Errorf("lbserve: -rate=%v must be >= 0", *rate)
+	if err := cli.ValidateNonNegativeFloat("rate", *rate); err != nil {
+		return err
+	}
+	if err := cli.ValidateNonNegativeFloat("ingest-rate", *ingestRate); err != nil {
+		return err
+	}
+	if err := cli.ValidatePositive("ingest-burst", int64(*ingestBurst)); err != nil {
+		return err
+	}
+	if err := cli.ValidateChoice("ingest-pulse", *ingestPulse, workload.PulseNames()); err != nil {
+		return err
+	}
+	if err := cli.ValidatePositiveDuration("ingest-period", *ingestPeriod); err != nil {
+		return err
+	}
+	if err := cli.ValidateNonNegative("stream-batch", int64(*streamBatch)); err != nil {
+		return err
+	}
+	if err := cli.ValidateNonNegative("stream-maxline", int64(*streamMaxline)); err != nil {
+		return err
+	}
+	if err := cli.ValidateNonNegative("stream-pending", int64(*streamPending)); err != nil {
+		return err
 	}
 
 	g, err := cli.ParseGraph(*graphSpec, *seed)
@@ -129,7 +173,22 @@ func run() error {
 	// Read before the auto-step goroutine and listener start: after that,
 	// the engine is only safe to touch through the server mutex.
 	initialW := eng.RealTotal()
-	sv := engine.NewServer(eng)
+	sv := engine.NewServer(eng).WithStreamLimits(engine.StreamLimits{
+		MaxLineBytes: *streamMaxline,
+		MaxBatch:     *streamBatch,
+		MaxPending:   *streamPending,
+	})
+	if *ingestRate > 0 {
+		pulse, err := workload.ParsePulse(*ingestPulse, *ingestFloor)
+		if err != nil {
+			return err
+		}
+		bucket, err := workload.NewTokenBucket(*ingestRate, *ingestBurst, pulse, *ingestPeriod)
+		if err != nil {
+			return err
+		}
+		sv = sv.WithIngestLimiter(bucket)
+	}
 	// Close under the server mutex: if Shutdown abandoned a slow /step
 	// handler at its deadline, the handler still drives the engine between
 	// lock windows — closing through Do serializes with it, and its next

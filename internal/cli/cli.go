@@ -7,9 +7,11 @@ package cli
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/continuous"
@@ -231,6 +233,30 @@ func ValidatePositive(flagName string, v int64) error {
 func ValidateNonNegative(flagName string, v int64) error {
 	if v < 0 {
 		return fmt.Errorf("cli: -%s=%d must be >= 0", flagName, v)
+	}
+	return nil
+}
+
+// ValidatePositiveFloat rejects non-finite or non-positive values.
+func ValidatePositiveFloat(flagName string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		return fmt.Errorf("cli: -%s=%v must be a positive finite number", flagName, v)
+	}
+	return nil
+}
+
+// ValidateNonNegativeFloat rejects non-finite or negative values.
+func ValidateNonNegativeFloat(flagName string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return fmt.Errorf("cli: -%s=%v must be a non-negative finite number", flagName, v)
+	}
+	return nil
+}
+
+// ValidatePositiveDuration rejects non-positive durations.
+func ValidatePositiveDuration(flagName string, v time.Duration) error {
+	if v <= 0 {
+		return fmt.Errorf("cli: -%s=%v must be a positive duration", flagName, v)
 	}
 	return nil
 }

@@ -1,8 +1,10 @@
 package cli
 
 import (
+	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/load"
 	"repro/internal/workload"
@@ -181,5 +183,37 @@ func TestValidateNumericFlags(t *testing.T) {
 				t.Errorf("validate %s=%d error = %v, wantErr %v", tt.name, tt.value, err, tt.wantErr)
 			}
 		})
+	}
+}
+
+func TestValidateFloatFlags(t *testing.T) {
+	if err := ValidatePositiveFloat("rate", 0.5); err != nil {
+		t.Errorf("ValidatePositiveFloat(0.5) = %v", err)
+	}
+	for _, v := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := ValidatePositiveFloat("rate", v); err == nil {
+			t.Errorf("ValidatePositiveFloat(%v) accepted", v)
+		}
+	}
+	for _, v := range []float64{0, 0.5, 1e9} {
+		if err := ValidateNonNegativeFloat("rate", v); err != nil {
+			t.Errorf("ValidateNonNegativeFloat(%v) = %v", v, err)
+		}
+	}
+	for _, v := range []float64{-0.1, math.NaN(), math.Inf(1)} {
+		if err := ValidateNonNegativeFloat("rate", v); err == nil {
+			t.Errorf("ValidateNonNegativeFloat(%v) accepted", v)
+		}
+	}
+}
+
+func TestValidatePositiveDuration(t *testing.T) {
+	if err := ValidatePositiveDuration("period", time.Second); err != nil {
+		t.Errorf("ValidatePositiveDuration(1s) = %v", err)
+	}
+	for _, v := range []time.Duration{0, -time.Second} {
+		if err := ValidatePositiveDuration("period", v); err == nil {
+			t.Errorf("ValidatePositiveDuration(%v) accepted", v)
+		}
 	}
 }

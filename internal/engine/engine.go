@@ -903,18 +903,22 @@ func (e *Engine) LastSample() (Sample, bool) { return e.ring.Last() }
 // Snapshot is a point-in-time summary of the runtime, JSON-friendly for
 // the lbserve daemon.
 type Snapshot struct {
-	Round     int64   `json:"round"`
-	Nodes     int     `json:"nodes"`
-	Edges     int     `json:"edges"`
-	MaxDegree int     `json:"max_degree"`
-	Wmax      int64   `json:"wmax"`
-	RealTotal int64   `json:"real_total"`
-	Dummies   int64   `json:"dummies"`
-	Pending   int     `json:"pending_events"`
-	Events    int64   `json:"events_applied"`
-	MaxAvg    float64 `json:"max_avg"`
-	MaxMin    float64 `json:"max_min"`
-	Bound     float64 `json:"bound"`
+	Round     int64 `json:"round"`
+	Nodes     int   `json:"nodes"`
+	Edges     int   `json:"edges"`
+	MaxDegree int   `json:"max_degree"`
+	Wmax      int64 `json:"wmax"`
+	RealTotal int64 `json:"real_total"`
+	Dummies   int64 `json:"dummies"`
+	Pending   int   `json:"pending_events"`
+	Events    int64 `json:"events_applied"`
+	// FullAudits counts stop-the-world conservation recounts; in default
+	// (ledger) mode it stays 0 unless a mismatch forced a diagnostic, so
+	// load harnesses assert on it to prove a run never tripped the ledger.
+	FullAudits int64   `json:"full_audits"`
+	MaxAvg     float64 `json:"max_avg"`
+	MaxMin     float64 `json:"max_min"`
+	Bound      float64 `json:"bound"`
 	// NodeIDs lists the active node slots; Loads and RealLoads align with
 	// it. Only populated when requested.
 	NodeIDs   []int       `json:"node_ids,omitempty"`
@@ -927,18 +931,19 @@ type Snapshot struct {
 func (e *Engine) Snapshot(includeLoads bool) Snapshot {
 	maxAvg, maxMin, _ := e.discrepancies()
 	snap := Snapshot{
-		Round:     e.round,
-		Nodes:     e.topo.NumNodes(),
-		Edges:     e.topo.NumEdges(),
-		MaxDegree: e.topo.MaxDegree(),
-		Wmax:      e.wmax,
-		RealTotal: e.expectedReal,
-		Dummies:   e.DummiesCreated(),
-		Pending:   len(e.queue),
-		Events:    e.eventsApplied,
-		MaxAvg:    maxAvg,
-		MaxMin:    maxMin,
-		Bound:     e.Bound(),
+		Round:      e.round,
+		Nodes:      e.topo.NumNodes(),
+		Edges:      e.topo.NumEdges(),
+		MaxDegree:  e.topo.MaxDegree(),
+		Wmax:       e.wmax,
+		RealTotal:  e.expectedReal,
+		Dummies:    e.DummiesCreated(),
+		Pending:    len(e.queue),
+		Events:     e.eventsApplied,
+		FullAudits: e.fullAudits,
+		MaxAvg:     maxAvg,
+		MaxMin:     maxMin,
+		Bound:      e.Bound(),
 	}
 	if includeLoads {
 		snap.NodeIDs = e.topo.ActiveNodes()

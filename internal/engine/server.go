@@ -7,8 +7,6 @@ import (
 	"strconv"
 	"sync"
 	"time"
-
-	"repro/internal/load"
 )
 
 // Server exposes a live Engine over HTTP: snapshots, the streaming metrics
@@ -19,16 +17,41 @@ import (
 //	GET  /healthz            liveness + current round
 //	GET  /snapshot[?loads=1] point-in-time summary (optionally with loads)
 //	GET  /metrics[?n=K]      last K ring samples (all buffered by default)
-//	POST /events             inject one event (JSON body, see eventRequest)
+//	POST /events             inject one event (JSON body, see WireEvent)
+//	POST /events/stream      ingest an NDJSON event stream (one WireEvent
+//	                         per line) with batching and backpressure
 //	POST /step[?rounds=N]    execute N balancing rounds (default 1)
 type Server struct {
 	mu  sync.Mutex
 	eng *Engine
+
+	// limits bounds the streaming ingest path; limiter, when set, paces
+	// admission (a pulse-shaped token bucket in lbserve). drainPoll is
+	// how often a backpressured stream re-checks the queue depth.
+	limits    StreamLimits
+	limiter   Limiter
+	drainPoll time.Duration
 }
 
 // NewServer wraps an engine. The caller must not use the engine directly
 // while the server is live except through Do.
-func NewServer(eng *Engine) *Server { return &Server{eng: eng} }
+func NewServer(eng *Engine) *Server {
+	return &Server{eng: eng, limits: DefaultStreamLimits(), drainPoll: 2 * time.Millisecond}
+}
+
+// WithStreamLimits sets the streaming ingest bounds (zero fields keep
+// their defaults) and returns the server.
+func (s *Server) WithStreamLimits(lim StreamLimits) *Server {
+	s.limits = lim.normalize()
+	return s
+}
+
+// WithIngestLimiter installs an admission limiter on the streaming
+// ingest path (nil removes it) and returns the server.
+func (s *Server) WithIngestLimiter(l Limiter) *Server {
+	s.limiter = l
+	return s
+}
 
 // Do runs fn with the engine lock held — the hook for drivers that step
 // the engine continuously (lbserve's -rate loop) next to live HTTP
@@ -46,6 +69,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/events/stream", s.handleEventStream)
 	mux.HandleFunc("/step", s.handleStep)
 	return mux
 }
@@ -101,70 +125,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"samples": samples})
 }
 
-// eventRequest is the JSON wire form of an injected event. Kind selects
-// the fields that matter (see Event); Tokens is a convenience for
-// unit-weight arrivals, Weight scales them.
-type eventRequest struct {
-	Kind   string `json:"kind"`
-	At     int64  `json:"at"`
-	Node   int    `json:"node"`
-	Tokens int    `json:"tokens"`
-	Weight int64  `json:"weight"`
-	Count  int    `json:"count"`
-	Speed  int64  `json:"speed"`
-	Peers  []int  `json:"peers"`
-	Add    [][2]int
-	Remove [][2]int
-}
-
-func (req *eventRequest) toEvent() (Event, error) {
-	switch req.Kind {
-	case "arrival":
-		if req.Tokens < 1 {
-			return Event{}, fmt.Errorf("arrival needs tokens >= 1, got %d", req.Tokens)
-		}
-		weight := req.Weight
-		if weight == 0 {
-			weight = 1
-		}
-		if weight < 1 {
-			return Event{}, fmt.Errorf("arrival weight %d must be >= 1", weight)
-		}
-		tasks := make([]load.Task, req.Tokens)
-		for i := range tasks {
-			tasks[i] = load.Task{Weight: weight}
-		}
-		return ArrivalTasks(req.At, req.Node, tasks), nil
-	case "completion":
-		if req.Count < 1 {
-			return Event{}, fmt.Errorf("completion needs count >= 1, got %d", req.Count)
-		}
-		return Completion(req.At, req.Node, req.Count), nil
-	case "join":
-		return Join(req.At, req.Speed, req.Peers...), nil
-	case "leave":
-		return Leave(req.At, req.Node), nil
-	case "edge-change":
-		if len(req.Add) == 0 && len(req.Remove) == 0 {
-			return Event{}, fmt.Errorf("edge-change needs add or remove entries")
-		}
-		return EdgeChange(req.At, req.Add, req.Remove), nil
-	default:
-		return Event{}, fmt.Errorf("unknown event kind %q", req.Kind)
-	}
-}
-
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
 	}
-	var req eventRequest
+	var req WireEvent
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode event: %w", err))
 		return
 	}
-	ev, err := req.toEvent()
+	ev, err := FromWire(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

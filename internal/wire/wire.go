@@ -1,0 +1,22 @@
+// Package wire defines the JSON wire format of injected runtime events:
+// the body of lbserve's POST /events and one NDJSON line of
+// POST /events/stream. It is a leaf package so both the engine (which
+// decodes the format into runtime events) and the workload generators
+// (which emit it) can share the type without depending on each other.
+package wire
+
+// Event is one injected event on the wire. Kind selects which fields
+// matter (see engine.FromWire): Tokens is a convenience for
+// uniform-weight arrivals, Weight scales them.
+type Event struct {
+	Kind   string   `json:"kind"`
+	At     int64    `json:"at,omitempty"`
+	Node   int      `json:"node,omitempty"`
+	Tokens int      `json:"tokens,omitempty"`
+	Weight int64    `json:"weight,omitempty"`
+	Count  int      `json:"count,omitempty"`
+	Speed  int64    `json:"speed,omitempty"`
+	Peers  []int    `json:"peers,omitempty"`
+	Add    [][2]int `json:"add,omitempty"`
+	Remove [][2]int `json:"remove,omitempty"`
+}

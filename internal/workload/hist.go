@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	histBuckets = 96
+	histBaseNs  = 1e3  // first bucket starts at 1µs
+	histGrowth  = 1.25 // geometric bucket width
+)
+
+// LatencyHist is a fixed-size geometric histogram of durations, safe for
+// concurrent Record: p50/p95/p99 reporting for a load driver without
+// retaining every sample. Buckets span ~1µs to ~30min; quantiles carry
+// the bucket's relative error (±12%).
+type LatencyHist struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	maxNs   atomic.Int64
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	ns := float64(d.Nanoseconds())
+	if ns < histBaseNs {
+		return 0
+	}
+	idx := int(math.Log(ns/histBaseNs) / math.Log(histGrowth))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// Record adds one sample.
+func (h *LatencyHist) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+	for {
+		cur := h.maxNs.Load()
+		if d.Nanoseconds() <= cur || h.maxNs.CompareAndSwap(cur, d.Nanoseconds()) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *LatencyHist) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean sample.
+func (h *LatencyHist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / n)
+}
+
+// Max returns the largest recorded sample.
+func (h *LatencyHist) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
+
+// Quantile returns the q-quantile (q in [0,1]), e.g. 0.99 for p99. The
+// value is the geometric midpoint of the bucket holding the quantile
+// sample. Concurrent Records make the answer approximate, which is fine
+// for progress reporting.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			lo := histBaseNs * math.Pow(histGrowth, float64(i))
+			return time.Duration(lo * math.Sqrt(histGrowth))
+		}
+	}
+	return h.Max()
+}

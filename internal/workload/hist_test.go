@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistEmpty(t *testing.T) {
+	var h LatencyHist
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h LatencyHist
+	// 1000 samples spread uniformly over [1ms, 1000ms]: the q-quantile of
+	// the population is q*1000ms, and the histogram answer must land
+	// within its geometric bucket error (±12%) plus the sample spacing.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", h.Count())
+	}
+	if h.Max() != 1000*time.Millisecond {
+		t.Fatalf("Max = %v, want 1s", h.Max())
+	}
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		got := h.Quantile(q).Seconds()
+		want := q * 1.0
+		if got < want*0.80 || got > want*1.25 {
+			t.Fatalf("Quantile(%v) = %vs, want within 25%% of %vs", q, got, want)
+		}
+	}
+	mean := h.Mean().Seconds()
+	if mean < 0.45 || mean > 0.56 {
+		t.Fatalf("Mean = %vs, want ~0.5s", mean)
+	}
+	// Quantile clamps out-of-range q instead of misindexing.
+	if h.Quantile(-1) == 0 && h.Count() > 0 {
+		t.Fatal("Quantile(-1) must clamp to the minimum sample bucket, not 0")
+	}
+	if h.Quantile(2) < h.Quantile(0.5) {
+		t.Fatal("Quantile(2) must clamp to the maximum")
+	}
+}
+
+func TestLatencyHistConcurrent(t *testing.T) {
+	var h LatencyHist
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+	got := h.Quantile(0.5)
+	if got < 800*time.Microsecond || got > 1300*time.Microsecond {
+		t.Fatalf("Quantile(0.5) = %v, want ~1ms", got)
+	}
+}

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Pulse shapes the instantaneous rate of a TokenBucket over its period:
+// given the phase in [0,1), it returns a multiplier in (0,1] applied to
+// the base rate. Shapes never return 0 — the floor keeps the bucket
+// refilling through a trough so waiters cannot stall forever.
+type Pulse func(phase float64) float64
+
+// PulseNames lists the shape names ParsePulse accepts.
+func PulseNames() []string { return []string{"constant", "sine", "square", "sawtooth"} }
+
+// ParsePulse builds a named pulse shape. floor is the trough multiplier
+// in (0,1]; the crest is always 1.
+//
+//	constant: rate                      (floor ignored)
+//	sine:     smooth swell between floor and 1
+//	square:   crest for the first half period, floor for the second
+//	sawtooth: ramp from floor up to 1 across the period, then drop
+func ParsePulse(name string, floor float64) (Pulse, error) {
+	if math.IsNaN(floor) || floor <= 0 || floor > 1 {
+		return nil, fmt.Errorf("workload: pulse floor %v must be in (0,1]", floor)
+	}
+	span := 1 - floor
+	switch name {
+	case "constant":
+		return func(float64) float64 { return 1 }, nil
+	case "sine":
+		return func(p float64) float64 { return floor + span*0.5*(1+math.Sin(2*math.Pi*p)) }, nil
+	case "square":
+		return func(p float64) float64 {
+			if p < 0.5 {
+				return 1
+			}
+			return floor
+		}, nil
+	case "sawtooth":
+		return func(p float64) float64 { return floor + span*p }, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown pulse shape %q (%s)", name, strings.Join(PulseNames(), "|"))
+	}
+}
+
+// TokenBucket is a pulse-shaped token-bucket rate limiter: tokens accrue
+// at rate·pulse(phase) per second up to a burst capacity, and Wait
+// debits them. It limits the aggregate across concurrent waiters (each
+// waiter blocks until the shared debt clears), which is the posture an
+// ingest endpoint or a load generator wants.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // base (crest) tokens per second
+	burst  float64 // bucket capacity
+	period time.Duration
+	pulse  Pulse
+	tokens float64
+	start  time.Time
+	last   time.Time
+
+	// Clock hooks for deterministic tests.
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// NewTokenBucket builds a limiter admitting rate tokens/s (at the pulse
+// crest) with the given burst capacity. pulse may be nil for a constant
+// rate; period is the pulse cycle length. The bucket starts full.
+func NewTokenBucket(rate float64, burst int, pulse Pulse, period time.Duration) (*TokenBucket, error) {
+	if math.IsNaN(rate) || math.IsInf(rate, 0) || rate <= 0 {
+		return nil, fmt.Errorf("workload: token bucket rate %v must be positive and finite", rate)
+	}
+	if burst < 1 {
+		return nil, fmt.Errorf("workload: token bucket burst %d must be >= 1", burst)
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("workload: token bucket period %v must be positive", period)
+	}
+	if pulse == nil {
+		pulse = func(float64) float64 { return 1 }
+	}
+	b := &TokenBucket{
+		rate:   rate,
+		burst:  float64(burst),
+		period: period,
+		pulse:  pulse,
+		tokens: float64(burst),
+		now:    time.Now,
+		sleep:  sleepCtx,
+	}
+	b.start = b.now()
+	b.last = b.start
+	return b, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// phaseAt maps a wall time onto the pulse cycle.
+func (b *TokenBucket) phaseAt(t time.Time) float64 {
+	el := t.Sub(b.start) % b.period
+	if el < 0 {
+		el += b.period
+	}
+	return float64(el) / float64(b.period)
+}
+
+// RateAt returns the shaped instantaneous admission rate at time t.
+func (b *TokenBucket) RateAt(t time.Time) float64 {
+	return b.rate * b.pulse(b.phaseAt(t))
+}
+
+// refillLocked integrates the shaped rate over [last, now]. The interval
+// is sliced so a crest or trough inside it contributes proportionally
+// (midpoint rule, at least 32 slices per period crossed).
+func (b *TokenBucket) refillLocked(now time.Time) {
+	if !now.After(b.last) {
+		return
+	}
+	elapsed := now.Sub(b.last)
+	slices := int(elapsed/(b.period/32)) + 1
+	if slices > 64 {
+		slices = 64
+	}
+	step := elapsed.Seconds() / float64(slices)
+	for k := 0; k < slices; k++ {
+		mid := b.last.Add(time.Duration((float64(k) + 0.5) * step * float64(time.Second)))
+		b.tokens += b.rate * b.pulse(b.phaseAt(mid)) * step
+	}
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+}
+
+// Wait blocks until n tokens have been admitted or the context ends. n
+// may exceed the burst capacity; the call then spans several refill
+// windows. On a context error the not-yet-accrued part of the debit is
+// refunded. It implements engine.Limiter.
+func (b *TokenBucket) Wait(ctx context.Context, n int) error {
+	if b == nil || n <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	b.refillLocked(b.now())
+	b.tokens -= float64(n)
+	deficit := -b.tokens
+	b.mu.Unlock()
+	for deficit > 0 {
+		// Estimate the wait from the current instantaneous rate, but
+		// re-check at least a few times per period so the estimate tracks
+		// the pulse, and never spin hotter than 100µs.
+		d := time.Duration(deficit / b.RateAt(b.now()) * float64(time.Second))
+		if max := b.period / 8; d > max {
+			d = max
+		}
+		if d < 100*time.Microsecond {
+			d = 100 * time.Microsecond
+		}
+		if err := b.sleep(ctx, d); err != nil {
+			// Refund at most this waiter's own debit: the shared deficit
+			// may include other waiters' debt (best-effort under
+			// concurrent cancellation).
+			refund := math.Min(float64(n), deficit)
+			b.mu.Lock()
+			b.tokens += refund
+			b.mu.Unlock()
+			return err
+		}
+		b.mu.Lock()
+		b.refillLocked(b.now())
+		deficit = -b.tokens
+		b.mu.Unlock()
+	}
+	return nil
+}

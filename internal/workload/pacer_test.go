@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeClock rewires a bucket onto a deterministic clock: now() reads a
+// variable and sleep() advances it by exactly the requested duration, so
+// Wait timings can be asserted to the millisecond.
+type fakeClock struct {
+	cur     time.Time
+	elapsed time.Duration
+}
+
+func installFakeClock(b *TokenBucket) *fakeClock {
+	c := &fakeClock{cur: time.Unix(0, 0)}
+	b.now = func() time.Time { return c.cur }
+	b.sleep = func(ctx context.Context, d time.Duration) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c.cur = c.cur.Add(d)
+		c.elapsed += d
+		return nil
+	}
+	b.start = c.cur
+	b.last = c.cur
+	return c
+}
+
+func TestTokenBucketConstantRate(t *testing.T) {
+	b, err := NewTokenBucket(1000, 100, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := installFakeClock(b)
+	// The bucket starts full (100 tokens); admitting 500 leaves a 400
+	// token deficit that refills at exactly 1000/s of fake time.
+	if err := b.Wait(context.Background(), 500); err != nil {
+		t.Fatal(err)
+	}
+	want := 400 * time.Millisecond
+	if diff := (c.elapsed - want).Abs(); diff > 5*time.Millisecond {
+		t.Fatalf("Wait(500) took %v of fake time, want ~%v", c.elapsed, want)
+	}
+	// A request inside the accrued budget must not sleep at all.
+	c.cur = c.cur.Add(50 * time.Millisecond)
+	before := c.elapsed
+	if err := b.Wait(context.Background(), 40); err != nil {
+		t.Fatal(err)
+	}
+	if c.elapsed != before {
+		t.Fatalf("Wait(40) slept %v with 50 tokens accrued", c.elapsed-before)
+	}
+}
+
+func TestTokenBucketSquarePulse(t *testing.T) {
+	pulse, err := ParsePulse("square", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTokenBucket(1000, 1, pulse, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := installFakeClock(b)
+	// From phase 0: the first half period refills at 1000/s (500 tokens
+	// by t=0.5s), the second half at 500/s, so a 700-token deficit
+	// clears at t = 0.5s + 200/500 = 0.9s.
+	if err := b.Wait(context.Background(), 701); err != nil {
+		t.Fatal(err)
+	}
+	want := 900 * time.Millisecond
+	if diff := (c.elapsed - want).Abs(); diff > 30*time.Millisecond {
+		t.Fatalf("square-pulse Wait(701) took %v of fake time, want ~%v", c.elapsed, want)
+	}
+}
+
+func TestTokenBucketRateAt(t *testing.T) {
+	pulse, err := ParsePulse("sine", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTokenBucket(100, 1, pulse, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := installFakeClock(b)
+	crest := b.RateAt(c.cur.Add(250 * time.Millisecond)) // sin peak at phase 0.25
+	trough := b.RateAt(c.cur.Add(750 * time.Millisecond))
+	if math.Abs(crest-100) > 1e-9 {
+		t.Fatalf("crest rate %v, want 100", crest)
+	}
+	if math.Abs(trough-20) > 1e-9 {
+		t.Fatalf("trough rate %v, want 20", trough)
+	}
+}
+
+func TestTokenBucketWaitCancelRefunds(t *testing.T) {
+	b, err := NewTokenBucket(10, 1, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	installFakeClock(b)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := b.Wait(ctx, 100); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait on cancelled ctx: err=%v, want context.Canceled", err)
+	}
+	// The aborted waiter's debit must be refunded: 1 - 100 = -99, then
+	// +99 back, so the bucket sits at zero rather than deep in debt.
+	b.mu.Lock()
+	tokens := b.tokens
+	b.mu.Unlock()
+	if math.Abs(tokens) > 1e-9 {
+		t.Fatalf("tokens after cancelled Wait = %v, want 0", tokens)
+	}
+}
+
+func TestTokenBucketZeroAndNil(t *testing.T) {
+	var nilBucket *TokenBucket
+	if err := nilBucket.Wait(context.Background(), 10); err != nil {
+		t.Fatalf("nil bucket Wait: %v", err)
+	}
+	b, err := NewTokenBucket(1, 1, nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Wait(context.Background(), 0); err != nil {
+		t.Fatalf("Wait(0): %v", err)
+	}
+}
+
+func TestNewTokenBucketValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		rate   float64
+		burst  int
+		period time.Duration
+	}{
+		{"zero rate", 0, 1, time.Second},
+		{"negative rate", -5, 1, time.Second},
+		{"nan rate", math.NaN(), 1, time.Second},
+		{"inf rate", math.Inf(1), 1, time.Second},
+		{"zero burst", 10, 0, time.Second},
+		{"zero period", 10, 1, 0},
+	}
+	for _, tc := range cases {
+		if _, err := NewTokenBucket(tc.rate, tc.burst, nil, tc.period); err == nil {
+			t.Errorf("%s: NewTokenBucket accepted invalid config", tc.name)
+		}
+	}
+}
+
+func TestParsePulseShapes(t *testing.T) {
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+
+	constant, err := ParsePulse("constant", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(constant(0), 1) || !approx(constant(0.9), 1) {
+		t.Fatal("constant pulse must be 1 everywhere")
+	}
+
+	sine, err := ParsePulse("sine", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sine(0.25), 1) {
+		t.Fatalf("sine crest at phase 0.25 = %v, want 1", sine(0.25))
+	}
+	if !approx(sine(0.75), 0.2) {
+		t.Fatalf("sine trough at phase 0.75 = %v, want floor 0.2", sine(0.75))
+	}
+
+	square, err := ParsePulse("square", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(square(0.1), 1) || !approx(square(0.6), 0.3) {
+		t.Fatalf("square = %v/%v, want 1/0.3", square(0.1), square(0.6))
+	}
+
+	saw, err := ParsePulse("sawtooth", 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(saw(0), 0.4) {
+		t.Fatalf("sawtooth start = %v, want floor 0.4", saw(0))
+	}
+	if !approx(saw(0.5), 0.7) {
+		t.Fatalf("sawtooth midpoint = %v, want 0.7", saw(0.5))
+	}
+
+	// Every registered shape stays within [floor, 1]: the floor is the
+	// no-stall guarantee for Wait.
+	for _, name := range PulseNames() {
+		p, err := ParsePulse(name, 0.25)
+		if err != nil {
+			t.Fatalf("ParsePulse(%q): %v", name, err)
+		}
+		for phase := 0.0; phase < 1; phase += 0.01 {
+			v := p(phase)
+			if v < 0.25-1e-9 || v > 1+1e-9 {
+				t.Fatalf("pulse %q at phase %v = %v, outside [0.25, 1]", name, phase, v)
+			}
+		}
+	}
+
+	for _, floor := range []float64{0, -1, 1.5, math.NaN()} {
+		if _, err := ParsePulse("sine", floor); err == nil {
+			t.Errorf("ParsePulse accepted floor %v", floor)
+		}
+	}
+	if _, err := ParsePulse("triangle", 0.5); err == nil {
+		t.Error("ParsePulse accepted unknown shape")
+	}
+}
