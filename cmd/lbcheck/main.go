@@ -1,0 +1,90 @@
+// Command lbcheck validates Prometheus text exposition, the format
+// lbserve serves on GET /metrics/prom. It parses the input with the
+// same validator the tests use (internal/obs), checking comment syntax,
+// sample lines, label quoting, and histogram invariants (cumulative
+// buckets, +Inf, _count agreement), and optionally asserts that named
+// metric families are present. Exit status 0 means the exposition is
+// well-formed (and complete, when -require is given).
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics/prom | lbcheck -require engine_rounds_total,engine_step_seconds
+//	lbcheck -file scrape.txt -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lbcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	file := flag.String("file", "", "read exposition from this file instead of stdin")
+	require := flag.String("require", "", "comma-separated metric families that must be present")
+	list := flag.Bool("list", false, "print the metric families found, one per line")
+	flag.Parse()
+
+	var raw []byte
+	var err error
+	if *file != "" {
+		raw, err = os.ReadFile(*file)
+	} else {
+		raw, err = io.ReadAll(io.LimitReader(os.Stdin, 64<<20))
+	}
+	if err != nil {
+		return err
+	}
+	if len(raw) == 0 {
+		return fmt.Errorf("empty exposition")
+	}
+
+	samples, err := obs.ParseExposition(raw)
+	if err != nil {
+		return err
+	}
+	families := make(map[string]int)
+	for _, s := range samples {
+		families[obs.FamilyOf(s.Name)]++
+	}
+
+	if *list {
+		names := make([]string, 0, len(families))
+		for name := range families {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("%s\t%d\n", name, families[name])
+		}
+	}
+
+	var missing []string
+	if *require != "" {
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if families[name] == 0 {
+				missing = append(missing, name)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("missing required families: %s", strings.Join(missing, ", "))
+	}
+	fmt.Fprintf(os.Stderr, "lbcheck: ok: %d samples across %d families\n", len(samples), len(families))
+	return nil
+}

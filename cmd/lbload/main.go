@@ -13,6 +13,7 @@
 //	       [-clients 8] [-batch 512] [-rate 0] [-pulse constant]
 //	       [-pulse-floor 0.1] [-pulse-period 10s] [-tokens 4] [-wmax 1]
 //	       [-seed 1] [-report 5s] [-step auto] [-out lbload.json]
+//	       [-log-format text|json]
 //
 // Scenarios: steady, hotspot, burst, churn-storm, ci-smoke. With
 // -rate R the generator paces admission through a pulse-shaped token
@@ -42,6 +43,8 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -69,6 +72,7 @@ type config struct {
 	stepMode    string
 	out         string
 	timeout     time.Duration
+	logFormat   string
 }
 
 func run() error {
@@ -89,19 +93,27 @@ func run() error {
 	flag.StringVar(&cfg.stepMode, "step", "auto", "server step mode on the stream (auto|off)")
 	flag.StringVar(&cfg.out, "out", "", "write the run's JSON result to this file")
 	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request timeout")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "lifecycle log format ("+strings.Join(cli.LogFormats(), "|")+")")
 	flag.Parse()
 
 	if err := cfg.validate(); err != nil {
 		return err
 	}
+	logger := cli.NewLogger(cfg.logFormat, os.Stderr)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	logger.Info("lbload: starting",
+		"target", cfg.target, "scenario", cfg.scenario, "clients", cfg.clients,
+		"batch", cfg.batch, "duration", cfg.duration.String(), "rate", cfg.rate,
+		"step", cfg.stepMode, "seed", cfg.seed)
 	res, err := runLoad(ctx, cfg, os.Stdout)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("lbload: done: %d events in %.1fs (%.0f events/s), p50=%.2fms p95=%.2fms p99=%.2fms, errors=%d\n",
-		res.Iterations, res.Seconds, res.EventsPerSec, res.P50Ms, res.P95Ms, res.P99Ms, res.Errors)
+	logger.Info("lbload: done",
+		"events", res.Iterations, "seconds", res.Seconds, "events_per_sec", res.EventsPerSec,
+		"p50_ms", res.P50Ms, "p95_ms", res.P95Ms, "p99_ms", res.P99Ms,
+		"errors", res.Errors, "pacer_wait_s", res.PacerWaitSeconds)
 	if cfg.out != "" {
 		raw, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
@@ -110,7 +122,7 @@ func run() error {
 		if err := os.WriteFile(cfg.out, append(raw, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("lbload: result written to %s\n", cfg.out)
+		logger.Info("lbload: result written", "path", cfg.out)
 	}
 	return nil
 }
@@ -155,6 +167,9 @@ func (cfg *config) validate() error {
 	if err := cli.ValidatePositiveDuration("timeout", cfg.timeout); err != nil {
 		return err
 	}
+	if err := cli.ValidateChoice("log-format", cfg.logFormat, cli.LogFormats()); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -195,6 +210,13 @@ type Result struct {
 	ServerRealTotal  int64   `json:"server_real_total"`
 	ServerMaxAvg     float64 `json:"server_max_avg"`
 	ServerFullAudits int64   `json:"server_full_audits"`
+
+	// Cumulative per-stage engine.Step time scraped from the server's
+	// GET /metrics/prom at the end of the run (best-effort; keyed by
+	// engine.StageNames()).
+	ServerStageSeconds map[string]float64 `json:"server_stage_seconds,omitempty"`
+	// Wall time the generator spent blocked in the pacing token bucket.
+	PacerWaitSeconds float64 `json:"pacer_wait_seconds"`
 }
 
 // snapshot is the slice of lbserve's GET /snapshot this driver reads.
@@ -274,6 +296,7 @@ func runLoad(ctx context.Context, cfg config, out io.Writer) (*Result, error) {
 		return nil, err
 	}
 	var bucket *workload.TokenBucket
+	var pacerWait atomic.Int64 // nanoseconds blocked in bucket.Wait
 	if cfg.rate > 0 {
 		pulse, err := workload.ParsePulse(cfg.pulse, cfg.pulseFloor)
 		if err != nil {
@@ -284,6 +307,9 @@ func runLoad(ctx context.Context, cfg config, out io.Writer) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		bucket.SetWaitObserver(func(blocked time.Duration) {
+			pacerWait.Add(int64(blocked))
+		})
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -423,6 +449,7 @@ func runLoad(ctx context.Context, cfg config, out io.Writer) (*Result, error) {
 		res.NsPerOp = float64(elapsed.Nanoseconds()) / float64(res.Iterations)
 		res.EventsPerSec = float64(res.Iterations) / elapsed.Seconds()
 	}
+	res.PacerWaitSeconds = time.Duration(pacerWait.Load()).Seconds()
 	if snap, err := fetchSnapshot(context.Background(), client, cfg.target); err == nil {
 		res.ServerRound = snap.Round
 		res.ServerEvents = snap.Events
@@ -430,6 +457,9 @@ func runLoad(ctx context.Context, cfg config, out io.Writer) (*Result, error) {
 		res.ServerRealTotal = snap.RealTotal
 		res.ServerMaxAvg = snap.MaxAvg
 		res.ServerFullAudits = snap.FullAudits
+	}
+	if sums, err := fetchStageSums(context.Background(), client, cfg.target); err == nil && len(sums) > 0 {
+		res.ServerStageSeconds = sums
 	}
 	if res.Iterations == 0 {
 		st.mu.Lock()
@@ -494,6 +524,42 @@ func fetchSnapshot(ctx context.Context, client *http.Client, target string) (*sn
 		return nil, fmt.Errorf("snapshot reports %d nodes", snap.Nodes)
 	}
 	return &snap, nil
+}
+
+// fetchStageSums scrapes the server's Prometheus exposition and pulls
+// out the cumulative per-stage step-time sums, one entry per engine
+// stage that has observations. Validating the whole exposition on the
+// way keeps lbload an end-to-end check of the /metrics/prom format.
+func fetchStageSums(ctx context.Context, client *http.Client, target string) (map[string]float64, error) {
+	url := strings.TrimRight(target, "/") + "/metrics/prom"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics/prom: status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, err
+	}
+	series, err := obs.SampleMap(raw)
+	if err != nil {
+		return nil, fmt.Errorf("parse exposition: %w", err)
+	}
+	sums := make(map[string]float64)
+	for _, stage := range engine.StageNames() {
+		key := engine.MetricStepStageSeconds + `_sum{stage="` + stage + `"}`
+		if v, ok := series[key]; ok {
+			sums[stage] = v
+		}
+	}
+	return sums, nil
 }
 
 // cpuModel best-effort reads the CPU model for the result header.

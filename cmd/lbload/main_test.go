@@ -62,6 +62,7 @@ func smokeConfig(target string) config {
 		report:      150 * time.Millisecond,
 		stepMode:    "auto",
 		timeout:     10 * time.Second,
+		logFormat:   "text",
 	}
 }
 
@@ -100,6 +101,14 @@ func TestRunLoadScenarios(t *testing.T) {
 			if res.ServerEvents == 0 {
 				t.Fatalf("server applied no events: %+v", res)
 			}
+			// The inline steps guaranteed above must surface as per-stage
+			// timings in the /metrics/prom scrape.
+			if len(res.ServerStageSeconds) == 0 {
+				t.Fatalf("no server stage timings scraped: %+v", res)
+			}
+			if _, ok := res.ServerStageSeconds["event_apply"]; !ok {
+				t.Fatalf("stage timings missing event_apply: %v", res.ServerStageSeconds)
+			}
 			var audited error
 			if err := sv.Do(func(e *engine.Engine) error { audited = e.AuditFull(); return nil }); err != nil || audited != nil {
 				t.Fatalf("post-run audit: do=%v audit=%v", err, audited)
@@ -129,7 +138,7 @@ func TestRunLoadResultJSON(t *testing.T) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"name", "scenario", "date", "goos", "command", "iterations", "ns_per_op", "events_per_sec", "p50_ms", "p95_ms", "p99_ms", "heap_mb", "gc_cycles", "server_full_audits"} {
+	for _, key := range []string{"name", "scenario", "date", "goos", "command", "iterations", "ns_per_op", "events_per_sec", "p50_ms", "p95_ms", "p99_ms", "heap_mb", "gc_cycles", "server_full_audits", "pacer_wait_seconds"} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("result JSON missing %q: %s", key, raw)
 		}
@@ -153,6 +162,11 @@ func TestRunLoadPaced(t *testing.T) {
 	}
 	if res.Iterations == 0 || res.Errors != 0 {
 		t.Fatalf("paced run: %+v", res)
+	}
+	// After the initial burst drains, every batch blocks in the bucket, so
+	// the observer must have accumulated real wait time.
+	if res.PacerWaitSeconds <= 0 {
+		t.Fatalf("paced run recorded no pacer wait: %+v", res)
 	}
 	// The bucket starts with a full burst (batch*clients), so allow it on
 	// top of rate*duration — but the run must not blow far past that.

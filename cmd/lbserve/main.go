@@ -9,12 +9,19 @@
 //	        [-ingest-rate 0] [-ingest-burst 8192] [-ingest-pulse constant]
 //	        [-ingest-floor 0.1] [-ingest-period 10s]
 //	        [-stream-batch 512] [-stream-maxline 65536] [-stream-pending 16384]
+//	        [-trace 1024] [-pprof] [-log-format text|json]
 //
 // Endpoints:
 //
 //	GET  /healthz                liveness + current round
 //	GET  /snapshot[?loads=1]     point-in-time summary of the runtime
 //	GET  /metrics[?n=K]          the last K streaming metrics samples
+//	GET  /metrics/prom           Prometheus text exposition: per-stage step
+//	                             timing histograms, ingest counters, and the
+//	                             Theorem 3 discrepancy gauges
+//	GET  /debug/trace[?n=K]      flight recorder dump (JSONL): the last
+//	                             -trace applied events + round summaries
+//	GET  /debug/pprof/...        net/http/pprof profiles (with -pprof)
 //	POST /events                 inject an event, e.g.
 //	                             {"kind":"arrival","node":3,"tokens":500}
 //	                             {"kind":"join","peers":[0,17]}
@@ -39,6 +46,9 @@
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // get a drain window, the auto-step loop stops, and the engine's worker
 // pool is released.
+//
+// Logs are structured (log/slog) on stderr; -log-format json emits one
+// JSON object per line for log shippers, text is the human default.
 package main
 
 import (
@@ -46,9 +56,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -90,6 +100,10 @@ func run() error {
 		streamBatch   = flag.Int("stream-batch", 0, "events applied per stream batch (0 = default)")
 		streamMaxline = flag.Int("stream-maxline", 0, "max NDJSON line length in bytes (0 = default)")
 		streamPending = flag.Int("stream-pending", 0, "queue depth that triggers stream backpressure (0 = default)")
+
+		traceWindow = flag.Int("trace", 1024, "flight recorder capacity (recent events + round summaries, GET /debug/trace)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logFormat   = flag.String("log-format", "text", "log output format (text|json)")
 	)
 	flag.Parse()
 
@@ -135,6 +149,13 @@ func run() error {
 	if err := cli.ValidateNonNegative("stream-pending", int64(*streamPending)); err != nil {
 		return err
 	}
+	if err := cli.ValidatePositive("trace", int64(*traceWindow)); err != nil {
+		return err
+	}
+	if err := cli.ValidateChoice("log-format", *logFormat, cli.LogFormats()); err != nil {
+		return err
+	}
+	logger := cli.NewLogger(*logFormat, os.Stderr)
 
 	g, err := cli.ParseGraph(*graphSpec, *seed)
 	if err != nil {
@@ -166,6 +187,7 @@ func run() error {
 		MetricsWindow: *window,
 		SampleEvery:   *sample,
 		DeepAudit:     *audit,
+		FlightWindow:  *traceWindow,
 	})
 	if err != nil {
 		return err
@@ -227,22 +249,40 @@ func run() error {
 					case errors.Is(err, engine.ErrInconsistent), errors.Is(err, engine.ErrClosed):
 						// A corrupt (or closed) engine must not be stepped
 						// further; stop auto-stepping but keep serving
-						// snapshots and metrics for the postmortem.
-						log.Printf("lbserve: auto-step stopped: %v", err)
+						// snapshots and metrics for the postmortem. The
+						// engine latches the ErrInconsistent, and this loop
+						// exits on it, so the latched error is logged
+						// exactly once — later /step attempts surface it
+						// over HTTP, not in the log.
+						logger.Error("lbserve: auto-step halted", "err", err)
 						return
 					default:
 						// Invalid injected events are rejected atomically at
 						// apply time; log and keep balancing.
-						log.Printf("lbserve: step: %v", err)
+						logger.Warn("lbserve: step rejected event", "err", err)
 					}
 				}
 			}
 		}()
 	}
 
+	handler := http.Handler(sv.Handler())
+	if *pprofOn {
+		// The flight recorder keeps /debug/trace; pprof gets the standard
+		// /debug/pprof/ prefix on an outer mux so the engine routes stay
+		// untouched.
+		root := http.NewServeMux()
+		root.Handle("/", handler)
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = root
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           sv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -251,13 +291,17 @@ func run() error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
-	log.Printf("lbserve: %s (n=%d, m=%d, W=%d) listening on %s (rate=%v rounds/s, audit=%v)",
-		*graphSpec, g.N(), g.M(), initialW, *addr, *rate, *audit)
+	logger.Info("lbserve: listening",
+		"addr", *addr, "graph", *graphSpec, "nodes", g.N(), "edges", g.M(),
+		"real_total", initialW, "seed", *seed, "rate", *rate, "audit", *audit,
+		"workers", *workers, "window", *window, "sample", *sample,
+		"ingest_rate", *ingestRate, "trace", *traceWindow, "pprof", *pprofOn)
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		log.Printf("lbserve: signal received, shutting down")
+		logger.Info("lbserve: signal received, shutting down",
+			"addr", *addr, "seed", *seed, "drain_timeout", "10s")
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		return srv.Shutdown(sctx)

@@ -7,6 +7,8 @@ package cli
 import (
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"math/rand"
 	"strconv"
@@ -259,6 +261,19 @@ func ValidatePositiveDuration(flagName string, v time.Duration) error {
 		return fmt.Errorf("cli: -%s=%v must be a positive duration", flagName, v)
 	}
 	return nil
+}
+
+// LogFormats lists the -log-format choices of the daemons/drivers.
+func LogFormats() []string { return []string{"text", "json"} }
+
+// NewLogger builds a structured slog logger writing to w: "json" emits
+// one JSON object per line for log shippers, anything else the human
+// text handler.
+func NewLogger(format string, w io.Writer) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(w, nil))
+	}
+	return slog.New(slog.NewTextHandler(w, nil))
 }
 
 // TableNames lists the values lbtable's -table flag accepts.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/load"
+	"repro/internal/obs"
 )
 
 // Config configures a runtime instance.
@@ -38,6 +39,16 @@ type Config struct {
 	// per-event diagnostics. The default is the O(1) incremental ledger
 	// check once per event batch; see WithDeepAudit.
 	DeepAudit bool
+	// Registry receives the engine's metrics (per-stage step timings,
+	// event counters, discrepancy gauges); nil gives the engine a private
+	// registry, still reachable through Engine.Registry. Sharing one
+	// registry lets a daemon expose engine and ingest metrics on a single
+	// /metrics/prom endpoint.
+	Registry *obs.Registry
+	// FlightWindow is the capacity of the flight recorder — the bounded
+	// ring of recent applied events and round summaries dumped by
+	// GET /debug/trace; 0 means 1024.
+	FlightWindow int
 }
 
 // outMsg is one round's batch on an edge: the receiving node slot and the
@@ -63,7 +74,10 @@ type outMsg struct {
 // bit-for-bit identical to core.FlowImitation over FOS with PolicyLIFO.
 //
 // An Engine is not safe for concurrent use; the HTTP server serializes
-// access.
+// access. The exceptions are the internally locked read surfaces —
+// Samples, LastSample and Trace (ring buffers) plus the registry's
+// instruments (atomics) — which may be read while another goroutine holds
+// the serialization domain and steps.
 type Engine struct {
 	topo *graph.Dynamic
 	pool *workerPool
@@ -123,6 +137,12 @@ type Engine struct {
 	sampleEvery int
 	closed      bool
 
+	// instr holds the metrics-registry handles (pre-registered in New);
+	// flight is the bounded recorder of applied events + round summaries.
+	instr    *instruments
+	flight   *obs.FlightRecorder[TraceRecord]
+	traceSeq int64
+
 	// poisoned latches the first ErrInconsistent Step failure so every
 	// later Step fails with it too — the "must not be stepped further"
 	// contract is enforced by the engine, not left to each driver.
@@ -174,6 +194,14 @@ func New(cfg Config) (*Engine, error) {
 	if sampleEvery <= 0 {
 		sampleEvery = 1
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	flightWindow := cfg.FlightWindow
+	if flightWindow <= 0 {
+		flightWindow = 1024
+	}
 	e := &Engine{
 		topo:        graph.NewDynamic(g),
 		pool:        newWorkerPool(workers),
@@ -190,6 +218,8 @@ func New(cfg Config) (*Engine, error) {
 		ring:        newRing(window),
 		sampleEvery: sampleEvery,
 		deepAudit:   cfg.DeepAudit,
+		instr:       newInstruments(reg),
+		flight:      obs.NewFlightRecorder[TraceRecord](flightWindow),
 	}
 	copy(e.s, cfg.Speeds)
 	for _, sp := range cfg.Speeds {
@@ -335,11 +365,14 @@ func (e *Engine) Step() error {
 	for len(e.queue) > 0 && e.queue[0].ev.At <= e.round {
 		ev := heap.Pop(&e.queue).(queued).ev
 		if err := e.applyEvent(ev); err != nil {
+			e.instr.eventsRejected.Inc()
 			stepErr = fmt.Errorf("engine: round %d %s event: %w", e.round, ev.Kind, err)
 			break
 		}
 		e.eventsApplied++
 		applied++
+		e.instr.eventsApplied[ev.Kind].Inc()
+		e.recordEvent(ev)
 		if e.deepAudit {
 			if err := e.AuditFull(); err != nil {
 				stepErr = fmt.Errorf("engine: round %d after %s event: %w: %w", e.round, ev.Kind, ErrInconsistent, err)
@@ -347,11 +380,15 @@ func (e *Engine) Step() error {
 			}
 		}
 	}
+	if applied > 0 {
+		e.instr.stage["event_apply"].ObserveDuration(time.Since(start))
+	}
 	if applied > 0 && !errors.Is(stepErr, ErrInconsistent) {
 		// Validate even when a rejection stopped the batch early: the
 		// applied prefix stays applied, so it must be ledger-checked now —
 		// deferring to the next batch would let a violation hide behind a
 		// "fully usable" rejection error and then be misattributed.
+		tLedger := time.Now()
 		if err := e.checkLedger(); err != nil {
 			ledErr := fmt.Errorf("engine: round %d after %d-event batch: %w: %w", e.round, applied, ErrInconsistent, err)
 			if stepErr != nil {
@@ -359,18 +396,23 @@ func (e *Engine) Step() error {
 			}
 			stepErr = ledErr
 		}
+		e.instr.stage["ledger"].ObserveDuration(time.Since(tLedger))
 	}
 	if stepErr != nil {
 		if errors.Is(stepErr, ErrInconsistent) {
 			e.poisoned = stepErr
 		}
 		e.sample(time.Since(start))
+		e.instr.stepSeconds.ObserveDuration(time.Since(start))
 		return stepErr
 	}
 	e.runRound()
 	if e.round%int64(e.sampleEvery) == 0 {
+		tSample := time.Now()
 		e.sample(time.Since(start))
+		e.instr.stage["sample"].ObserveDuration(time.Since(tSample))
 	}
+	e.instr.stepSeconds.ObserveDuration(time.Since(start))
 	return nil
 }
 
@@ -405,6 +447,7 @@ func (e *Engine) RunUntilBound(maxRounds int) (int, bool, error) {
 // O(m)), then sharded per-node send decisions and deliveries, then the
 // continuous load update.
 func (e *Engine) runRound() {
+	tFlows := time.Now()
 	edgeSlots := e.topo.EdgeSlots()
 	// Phase 1: continuous flows, cumulative f^A, and the per-edge residual
 	// snapshot. The snapshot is what makes the decide phase race-free:
@@ -427,6 +470,7 @@ func (e *Engine) runRound() {
 	// Phase 2: per-node send decisions, sharded over the worker pool. Each
 	// node touches only its own pool, the f^D of edges it sends on (single
 	// writer), and its own outbox slots.
+	tDecide := time.Now()
 	nodeSlots := e.topo.NodeSlots()
 	wmaxF := float64(e.wmax) - core.RoundingEps
 	e.pool.forEach(nodeSlots, func(i int) {
@@ -467,6 +511,7 @@ func (e *Engine) runRound() {
 	// this phase (slots are reset at the start of the next round), so both
 	// endpoints may inspect an edge's slot concurrently; only the receiver
 	// appends, and only to its own pool.
+	tDeliver := time.Now()
 	e.pool.forEach(nodeSlots, func(i int) {
 		if !e.topo.Active(i) {
 			return
@@ -479,6 +524,7 @@ func (e *Engine) runRound() {
 		}
 	})
 	// Phase 4: advance the continuous replica.
+	tUpdate := time.Now()
 	for id := 0; id < edgeSlots; id++ {
 		if n := e.net[id]; n != 0 {
 			u, v := e.topo.EdgeEndpoints(id)
@@ -487,6 +533,12 @@ func (e *Engine) runRound() {
 		}
 	}
 	e.round++
+	now := time.Now()
+	e.instr.stage["round_flows"].ObserveDuration(tDecide.Sub(tFlows))
+	e.instr.stage["round_decide"].ObserveDuration(tDeliver.Sub(tDecide))
+	e.instr.stage["round_deliver"].ObserveDuration(tUpdate.Sub(tDeliver))
+	e.instr.stage["round_update"].ObserveDuration(now.Sub(tUpdate))
+	e.instr.roundsTotal.Inc()
 }
 
 // applyEvent dispatches one event. A returned error means the event was
@@ -876,10 +928,11 @@ func (e *Engine) discrepancies() (maxAvg, maxMin, potential float64) {
 	return hi - ratio, hi - lo, potential
 }
 
-// sample appends one metrics sample to the ring.
+// sample appends one metrics sample to the ring, refreshes the registry
+// gauges, and appends a round summary to the flight recorder.
 func (e *Engine) sample(elapsed time.Duration) {
 	maxAvg, maxMin, potential := e.discrepancies()
-	e.ring.append(Sample{
+	s := Sample{
 		Round:     e.round,
 		Nodes:     e.topo.NumNodes(),
 		Edges:     e.topo.NumEdges(),
@@ -890,14 +943,21 @@ func (e *Engine) sample(elapsed time.Duration) {
 		RealTotal: e.expectedReal,
 		Events:    e.eventsApplied,
 		StepNanos: elapsed.Nanoseconds(),
-	})
+	}
+	e.ring.append(s)
+	e.instr.publish(e, maxAvg, maxMin, potential)
+	e.recordRound(s)
 }
 
 // Samples returns up to max metrics samples in chronological order (all
-// buffered samples when max <= 0).
+// buffered samples when max <= 0). The sample ring is internally locked,
+// so Samples and LastSample are safe to call concurrently with a Step
+// running under the server mutex — they are the engine's only
+// lock-free-read surface (see Ring's concurrency contract).
 func (e *Engine) Samples(max int) []Sample { return e.ring.Samples(max) }
 
-// LastSample returns the most recent metrics sample, if any.
+// LastSample returns the most recent metrics sample, if any. Safe to call
+// concurrently with Step; see Samples.
 func (e *Engine) LastSample() (Sample, bool) { return e.ring.Last() }
 
 // Snapshot is a point-in-time summary of the runtime, JSON-friendly for

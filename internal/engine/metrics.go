@@ -1,5 +1,7 @@
 package engine
 
+import "sync"
+
 // Sample is one round's streamed measurements: the discrepancy metrics the
 // paper bounds, the dummy-token count, the workload totals, topology size,
 // and the wall-clock latency of the round.
@@ -31,7 +33,15 @@ type Sample struct {
 
 // Ring is a fixed-capacity ring buffer of samples — the engine's streaming
 // metrics window. The zero value is unusable; use newRing.
+//
+// Concurrency contract: the Ring is internally locked, so Len/Last/Samples
+// may be called concurrently with the engine's Step (which appends) —
+// Engine.Samples and Engine.LastSample are the one read surface that does
+// NOT require the server mutex. Every other Engine method still does: the
+// lock here protects only the sample buffer, not the engine state the
+// samples are computed from.
 type Ring struct {
+	mu   sync.Mutex
 	buf  []Sample
 	next int
 	full bool
@@ -46,16 +56,24 @@ func newRing(capacity int) *Ring {
 
 // append adds a sample, evicting the oldest when full.
 func (r *Ring) append(s Sample) {
+	r.mu.Lock()
 	r.buf[r.next] = s
 	r.next++
 	if r.next == len(r.buf) {
 		r.next = 0
 		r.full = true
 	}
+	r.mu.Unlock()
 }
 
 // Len returns the number of stored samples.
 func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lenLocked()
+}
+
+func (r *Ring) lenLocked() int {
 	if r.full {
 		return len(r.buf)
 	}
@@ -64,7 +82,9 @@ func (r *Ring) Len() int {
 
 // Last returns the most recent sample and whether one exists.
 func (r *Ring) Last() (Sample, bool) {
-	if r.Len() == 0 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.lenLocked() == 0 {
 		return Sample{}, false
 	}
 	i := r.next - 1
@@ -77,7 +97,9 @@ func (r *Ring) Last() (Sample, bool) {
 // Samples returns up to max samples in chronological order (all when
 // max <= 0).
 func (r *Ring) Samples(max int) []Sample {
-	n := r.Len()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.lenLocked()
 	if max > 0 && max < n {
 		n = max
 	}

@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Server exposes a live Engine over HTTP: snapshots, the streaming metrics
@@ -17,6 +20,8 @@ import (
 //	GET  /healthz            liveness + current round
 //	GET  /snapshot[?loads=1] point-in-time summary (optionally with loads)
 //	GET  /metrics[?n=K]      last K ring samples (all buffered by default)
+//	GET  /metrics/prom       Prometheus text exposition of the registry
+//	GET  /debug/trace[?n=K]  flight recorder dump as JSONL, oldest first
 //	POST /events             inject one event (JSON body, see WireEvent)
 //	POST /events/stream      ingest an NDJSON event stream (one WireEvent
 //	                         per line) with batching and backpressure
@@ -31,12 +36,21 @@ type Server struct {
 	limits    StreamLimits
 	limiter   Limiter
 	drainPoll time.Duration
+
+	// ingest holds the streaming-ingest instruments, registered eagerly
+	// on the engine's registry so a scrape sees them before any stream.
+	ingest *ingestInstruments
 }
 
 // NewServer wraps an engine. The caller must not use the engine directly
 // while the server is live except through Do.
 func NewServer(eng *Engine) *Server {
-	return &Server{eng: eng, limits: DefaultStreamLimits(), drainPoll: 2 * time.Millisecond}
+	return &Server{
+		eng:       eng,
+		limits:    DefaultStreamLimits(),
+		drainPoll: 2 * time.Millisecond,
+		ingest:    newIngestInstruments(eng.Registry()),
+	}
 }
 
 // WithStreamLimits sets the streaming ingest bounds (zero fields keep
@@ -68,10 +82,68 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics/prom", s.handleProm)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/events/stream", s.handleEventStream)
 	mux.HandleFunc("/step", s.handleStep)
 	return mux
+}
+
+// handleProm serves the metrics registry in Prometheus text exposition
+// format. The point-in-time gauges (topology, queue depth, Theorem 3
+// discrepancies) are refreshed under the engine lock first; the exposition
+// itself reads only atomics, so the lock is released before writing.
+func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	s.mu.Lock()
+	s.eng.PublishMetrics()
+	reg := s.eng.Registry()
+	s.mu.Unlock()
+	publishRuntimeMetrics(reg)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = reg.WritePrometheus(w)
+}
+
+// handleTrace dumps the flight recorder — recent applied events and round
+// summaries — as JSONL, oldest first.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	max := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid n %q", q))
+			return
+		}
+		max = v
+	}
+	// The recorder is internally locked; the snapshot is consistent
+	// without the server mutex, and encoding happens outside any lock.
+	recs := s.eng.Trace(max)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return
+		}
+	}
+}
+
+// publishRuntimeMetrics refreshes a few Go runtime gauges on the shared
+// registry at scrape time.
+func publishRuntimeMetrics(reg *obs.Registry) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge("go_goroutines", "Live goroutines.").SetInt(int64(runtime.NumGoroutine()))
+	reg.Gauge("go_heap_alloc_bytes", "Heap bytes currently allocated.").SetInt(int64(ms.HeapAlloc))
+	reg.Gauge("go_gc_cycles", "Completed GC cycles.").SetInt(int64(ms.NumGC))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/load"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -128,6 +129,37 @@ type Limiter interface {
 	Wait(ctx context.Context, n int) error
 }
 
+// ingestInstruments are the streaming-ingest metrics: how many lines and
+// events came in, how many were rejected, and where a stream's time went —
+// token-bucket admission waits vs. queue-bound backpressure stalls. They
+// make the soak equilibrium (PR 6) measurable: at saturation the stall and
+// limiter histograms carry exactly the time the TCP window pushed back.
+type ingestInstruments struct {
+	lines         *obs.Counter
+	rejectedLines *obs.Counter
+	events        *obs.Counter
+	batches       *obs.Counter
+	streams       *obs.Counter
+	inlineRounds  *obs.Counter
+	stalls        *obs.Counter
+	stallSeconds  *obs.Histogram
+	limiterWait   *obs.Histogram
+}
+
+func newIngestInstruments(reg *obs.Registry) *ingestInstruments {
+	return &ingestInstruments{
+		lines:         reg.Counter("engine_ingest_lines_total", "NDJSON lines read from POST /events/stream bodies (blank lines included)."),
+		rejectedLines: reg.Counter("engine_ingest_rejected_lines_total", "Stream lines rejected as malformed or invalid."),
+		events:        reg.Counter("engine_ingest_events_total", "Events scheduled into the engine from streams."),
+		batches:       reg.Counter("engine_ingest_batches_total", "Stream batches applied under the engine lock."),
+		streams:       reg.Counter("engine_ingest_streams_total", "POST /events/stream requests started."),
+		inlineRounds:  reg.Counter("engine_ingest_inline_rounds_total", "Balancing rounds stepped inline by step=auto backpressure."),
+		stalls:        reg.Counter("engine_ingest_backpressure_stalls_total", "Times a step=off stream stopped reading at the pending-queue bound."),
+		stallSeconds:  reg.Histogram("engine_ingest_backpressure_seconds", "Time step=off streams spent stalled at the pending-queue bound.", nil),
+		limiterWait:   reg.Histogram("engine_ingest_limiter_wait_seconds", "Time stream batches waited for token-bucket admission.", nil),
+	}
+}
+
 // handleEventStream ingests an NDJSON event stream: one WireEvent per
 // line, scheduled in batches of at most MaxBatch under the engine lock.
 //
@@ -195,12 +227,16 @@ func (s *Server) handleEventStream(w http.ResponseWriter, r *http.Request) {
 			return nil
 		}
 		if s.limiter != nil {
+			t0 := time.Now()
 			if err := s.limiter.Wait(ctx, len(batch)); err != nil {
 				return fmt.Errorf("ingest limiter: %w", err)
 			}
+			s.ingest.limiterWait.ObserveDuration(time.Since(t0))
 		}
 		if stepMode == "off" {
 			// Stop reading until the external driver drains the queue.
+			stalled := false
+			t0 := time.Now()
 			for {
 				s.mu.Lock()
 				pending := s.eng.PendingEvents()
@@ -208,11 +244,18 @@ func (s *Server) handleEventStream(w http.ResponseWriter, r *http.Request) {
 				if pending < lim.MaxPending {
 					break
 				}
+				if !stalled {
+					stalled = true
+					s.ingest.stalls.Inc()
+				}
 				select {
 				case <-ctx.Done():
 					return ctx.Err()
 				case <-time.After(s.drainPoll):
 				}
+			}
+			if stalled {
+				s.ingest.stallSeconds.ObserveDuration(time.Since(t0))
 			}
 		}
 		s.mu.Lock()
@@ -220,28 +263,35 @@ func (s *Server) handleEventStream(w http.ResponseWriter, r *http.Request) {
 		for k, ev := range batch {
 			if err := s.eng.Schedule(ev); err != nil {
 				scheduled += int64(k)
+				s.ingest.events.Add(int64(k))
 				batch = batch[:0]
 				return err
 			}
 		}
 		scheduled += int64(len(batch))
+		s.ingest.events.Add(int64(len(batch)))
+		s.ingest.batches.Inc()
 		batch = batch[:0]
 		if stepMode == "auto" && s.eng.PendingEvents() >= lim.MaxPending {
 			if err := s.eng.Step(); err != nil {
 				return err
 			}
 			rounds++
+			s.ingest.inlineRounds.Inc()
 		}
 		return nil
 	}
+	s.ingest.streams.Inc()
 	for sc.Scan() {
 		lines++
+		s.ingest.lines.Inc()
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
 		}
 		ev, err := ParseEventLine(line)
 		if err != nil {
+			s.ingest.rejectedLines.Inc()
 			// The prefix before the bad line stays: flush it first so the
 			// response's counts describe exactly what the engine kept.
 			if ferr := flush(); ferr != nil {

@@ -1,0 +1,357 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: the metric name, the rendered
+// label set (canonical `{k="v",...}` form, "" when empty) and the value.
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// ParseExposition parses and validates Prometheus text exposition format
+// (version 0.0.4), returning every sample line. It enforces the pieces a
+// scraper relies on: identifier syntax, TYPE declared before a family's
+// samples, sample names matching a declared family (histogram samples via
+// the _bucket/_sum/_count suffixes), parseable values, and — for every
+// histogram series — cumulative non-decreasing buckets ending in a
+// le="+Inf" bucket that equals the series' _count.
+func ParseExposition(raw []byte) ([]Sample, error) {
+	types := make(map[string]string)
+	var samples []Sample
+	// histogram bookkeeping per series (family + labels without le)
+	hBuckets := make(map[string][]bucketSample)
+	hCounts := make(map[string]float64)
+	hSeen := make(map[string]bool)
+
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if kind == "TYPE" {
+				if _, dup := types[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				typ := line[strings.LastIndexByte(line, ' ')+1:]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam, suffix := familyOf(s.Name, types)
+		if fam == "" {
+			return nil, fmt.Errorf("line %d: sample %s has no TYPE declaration", lineNo, s.Name)
+		}
+		if types[fam] == "histogram" {
+			key := fam + "|" + stripLabel(s.Labels, "le")
+			hSeen[key] = true
+			switch suffix {
+			case "_bucket":
+				le, ok := labelValue(s.Labels, "le")
+				if !ok {
+					return nil, fmt.Errorf("line %d: %s_bucket without le label", lineNo, fam)
+				}
+				bound, err := parseLe(le)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %w", lineNo, err)
+				}
+				hBuckets[key] = append(hBuckets[key], bucketSample{bound: bound, cum: s.Value})
+			case "_count":
+				hCounts[key] = s.Value
+			}
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for key := range hSeen {
+		buckets := hBuckets[key]
+		name := key[:strings.IndexByte(key, '|')]
+		if len(buckets) == 0 {
+			return nil, fmt.Errorf("histogram %s has no _bucket samples", name)
+		}
+		last := buckets[len(buckets)-1]
+		if !math.IsInf(last.bound, 1) {
+			return nil, fmt.Errorf("histogram %s missing le=\"+Inf\" bucket", name)
+		}
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i].bound <= buckets[i-1].bound {
+				return nil, fmt.Errorf("histogram %s buckets not increasing", name)
+			}
+			if buckets[i].cum < buckets[i-1].cum {
+				return nil, fmt.Errorf("histogram %s bucket counts not cumulative", name)
+			}
+		}
+		if count, ok := hCounts[key]; ok && count != last.cum {
+			return nil, fmt.Errorf("histogram %s _count %v != +Inf bucket %v", name, count, last.cum)
+		}
+	}
+	return samples, nil
+}
+
+// ValidateExposition checks that raw parses as valid exposition text.
+func ValidateExposition(raw []byte) error {
+	_, err := ParseExposition(raw)
+	return err
+}
+
+// SampleMap parses exposition text into a map keyed by the full series
+// string (name plus canonical labels, e.g.
+// `engine_step_stage_seconds_sum{stage="round_decide"}`).
+func SampleMap(raw []byte) (map[string]float64, error) {
+	samples, err := ParseExposition(raw)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		m[s.Name+s.Labels] = s.Value
+	}
+	return m, nil
+}
+
+type bucketSample struct {
+	bound float64
+	cum   float64
+}
+
+func parseComment(line string) (kind, name string, err error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "#" {
+		return "", "", nil // free-form comment
+	}
+	switch fields[1] {
+	case "HELP", "TYPE":
+		if len(fields) < 3 || !nameOK(fields[2]) {
+			return "", "", fmt.Errorf("malformed %s comment %q", fields[1], line)
+		}
+		if fields[1] == "TYPE" && len(fields) != 4 {
+			return "", "", fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		return fields[1], fields[2], nil
+	default:
+		return "", "", nil
+	}
+}
+
+// parseSampleLine splits `name[{labels}] value [timestamp]`.
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !nameOK(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	if rest[0] == '{' {
+		end, err := scanLabels(rest)
+		if err != nil {
+			return s, fmt.Errorf("sample %s: %w", s.Name, err)
+		}
+		s.Labels = rest[:end]
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %s: expected value [timestamp], got %q", s.Name, rest)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("sample %s: %w", s.Name, err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("sample %s: bad timestamp %q", s.Name, fields[1])
+		}
+	}
+	return s, nil
+}
+
+// scanLabels validates a `{k="v",...}` block starting at s[0]=='{' and
+// returns the index just past the closing brace.
+func scanLabels(s string) (int, error) {
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label set")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		if j == len(s) || !labelOK(s[i:j]) {
+			return 0, fmt.Errorf("bad label key in %q", s)
+		}
+		i = j + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label value not quoted in %q", s)
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value in %q", s)
+		}
+		i++
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+func parseValue(v string) (float64, error) {
+	switch v {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", v)
+	}
+	return f, nil
+}
+
+func parseLe(le string) (float64, error) {
+	if le == "+Inf" {
+		return math.Inf(1), nil
+	}
+	f, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q", le)
+	}
+	return f, nil
+}
+
+// FamilyOf maps a series name to its metric family under the text
+// format's suffix conventions: _bucket/_sum/_count are stripped,
+// anything else is its own family. It is a heuristic for callers
+// without the TYPE declarations in hand (lbcheck's -require matching);
+// a non-histogram family whose name ends in one of those suffixes would
+// be folded into its prefix.
+func FamilyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok && base != "" {
+			return base
+		}
+	}
+	return name
+}
+
+// familyOf maps a sample name to its declared family: exact match, or for
+// histograms the name with a recognized suffix stripped.
+func familyOf(name string, types map[string]string) (fam, suffix string) {
+	if _, ok := types[name]; ok {
+		return name, ""
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suf)
+		if ok {
+			if t, declared := types[base]; declared && (t == "histogram" || t == "summary") {
+				return base, suf
+			}
+		}
+	}
+	return "", ""
+}
+
+// labelValue extracts one label's (unescaped) value from a canonical
+// rendered label set.
+func labelValue(labels, key string) (string, bool) {
+	for _, kv := range splitLabels(labels) {
+		if k, v, ok := strings.Cut(kv, "="); ok && k == key {
+			v = strings.Trim(v, `"`)
+			v = strings.ReplaceAll(v, `\"`, `"`)
+			v = strings.ReplaceAll(v, `\n`, "\n")
+			return strings.ReplaceAll(v, `\\`, `\`), true
+		}
+	}
+	return "", false
+}
+
+// stripLabel removes one key from a rendered label set (for grouping
+// histogram buckets with their _sum/_count series).
+func stripLabel(labels, key string) string {
+	kvs := splitLabels(labels)
+	kept := kvs[:0]
+	for _, kv := range kvs {
+		if k, _, ok := strings.Cut(kv, "="); !ok || k != key {
+			kept = append(kept, kv)
+		}
+	}
+	if len(kept) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(kept, ",") + "}"
+}
+
+// splitLabels splits a rendered `{k="v",...}` set on commas outside
+// quotes.
+func splitLabels(labels string) []string {
+	if len(labels) < 2 {
+		return nil
+	}
+	inner := labels[1 : len(labels)-1]
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(inner); i++ {
+		switch inner[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, inner[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(inner) {
+		out = append(out, inner[start:])
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const validExposition = `# HELP jobs_total Jobs processed.
+# TYPE jobs_total counter
+jobs_total 42
+# HELP temp_celsius Room temperature.
+# TYPE temp_celsius gauge
+temp_celsius{room="kitchen"} 21.5
+temp_celsius{room="cellar"} -3
+# HELP req_seconds Request latency.
+# TYPE req_seconds histogram
+req_seconds_bucket{le="0.25"} 1
+req_seconds_bucket{le="1"} 2
+req_seconds_bucket{le="+Inf"} 3
+req_seconds_sum 2.75
+req_seconds_count 3
+`
+
+func TestParseExpositionValid(t *testing.T) {
+	samples, err := ParseExposition([]byte(validExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 8 {
+		t.Fatalf("parsed %d samples, want 8", len(samples))
+	}
+	m, err := SampleMap([]byte(validExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		`jobs_total`:                  42,
+		`temp_celsius{room="cellar"}`: -3,
+		`req_seconds_bucket{le="1"}`:  2,
+		`req_seconds_sum`:             2.75,
+	}
+	for key, want := range checks {
+		got, ok := m[key]
+		if !ok || got != want {
+			t.Errorf("series %s = %v (present=%v), want %v", key, got, ok, want)
+		}
+	}
+}
+
+func TestParseExpositionErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"sample without TYPE", "orphan_total 1\n"},
+		{"unknown type", "# TYPE x gadget\nx 1\n"},
+		{"duplicate TYPE", "# TYPE x counter\n# TYPE x counter\nx 1\n"},
+		{"bad value", "# TYPE x counter\nx notanumber\n"},
+		{"bad name", "# TYPE x counter\nx{ 1\n"},
+		{"unterminated labels", "# TYPE x counter\nx{a=\"b\" 1\n"},
+		{"bucket without le", "# TYPE h histogram\nh_bucket 1\nh_count 1\n"},
+		{"missing +Inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\n"},
+		{"non-cumulative", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n"},
+		{"buckets not increasing", "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\n"},
+		{"count mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 4\n"},
+	}
+	for _, tc := range cases {
+		if err := ValidateExposition([]byte(tc.text)); err == nil {
+			t.Errorf("%s: validator accepted:\n%s", tc.name, tc.text)
+		}
+	}
+}
+
+func TestParseExpositionSpecialValues(t *testing.T) {
+	text := "# TYPE g gauge\ng{k=\"a\"} +Inf\ng{k=\"b\"} -Inf\ng{k=\"c\"} NaN\n"
+	samples, err := ParseExposition([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("parsed %d samples, want 3", len(samples))
+	}
+}
+
+func TestFamilyOf(t *testing.T) {
+	cases := map[string]string{
+		"engine_rounds_total":              "engine_rounds_total",
+		"engine_step_seconds_bucket":       "engine_step_seconds",
+		"engine_step_seconds_sum":          "engine_step_seconds",
+		"engine_step_seconds_count":        "engine_step_seconds",
+		"engine_step_stage_seconds_bucket": "engine_step_stage_seconds",
+		"plain":                            "plain",
+	}
+	for name, want := range cases {
+		if got := FamilyOf(name); got != want {
+			t.Errorf("FamilyOf(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+// TestRoundTrip renders a live registry and feeds the bytes back through
+// the validator — the property the lbcheck CLI and the CI smoke rely on.
+func TestRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rt_total", "test").Add(7)
+	r.Gauge("rt_gauge", "test", Label{"shard", "0"}).Set(1.25)
+	h := r.Histogram("rt_seconds", "test", nil)
+	h.Observe(0.003)
+	h.Observe(99)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	m, err := SampleMap([]byte(b.String()))
+	if err != nil {
+		t.Fatalf("round trip failed: %v\n%s", err, b.String())
+	}
+	if got := m["rt_total"]; got != 7 {
+		t.Errorf("rt_total = %v, want 7", got)
+	}
+	if got := m[`rt_seconds_count`]; got != 2 {
+		t.Errorf("rt_seconds_count = %v, want 2", got)
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// FlightRecorder is a bounded ring of recent records — the black box a
+// long-running daemon dumps after (or during) an incident. Appends evict
+// the oldest record once the capacity is reached, so memory stays fixed no
+// matter how long the process runs. It is internally locked: appends from
+// a hot loop and dumps from an HTTP handler may race freely.
+type FlightRecorder[T any] struct {
+	mu      sync.Mutex
+	buf     []T
+	next    int
+	full    bool
+	dropped int64
+}
+
+// NewFlightRecorder returns a recorder holding the last capacity records
+// (minimum 1).
+func NewFlightRecorder[T any](capacity int) *FlightRecorder[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FlightRecorder[T]{buf: make([]T, capacity)}
+}
+
+// Append records one entry, evicting the oldest when full.
+func (r *FlightRecorder[T]) Append(rec T) {
+	r.mu.Lock()
+	if r.full {
+		r.dropped++
+	}
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of buffered records.
+func (r *FlightRecorder[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lenLocked()
+}
+
+func (r *FlightRecorder[T]) lenLocked() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Dropped returns how many records have been evicted so far.
+func (r *FlightRecorder[T]) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Records returns up to max records, oldest first (all buffered records
+// when max <= 0).
+func (r *FlightRecorder[T]) Records(max int) []T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.lenLocked()
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]T, 0, n)
+	start := r.next - n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for k := 0; k < n; k++ {
+		out = append(out, r.buf[(start+k)%len(r.buf)])
+	}
+	return out
+}
+
+// DumpJSONL writes up to max records (all when max <= 0) as one JSON
+// object per line, oldest first. The snapshot is taken atomically; the
+// encoding happens outside the lock.
+func (r *FlightRecorder[T]) DumpJSONL(w io.Writer, max int) error {
+	recs := r.Records(max)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

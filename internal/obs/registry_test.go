@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // negative deltas are ignored
+	c.Add(0)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	g.Add(0.5)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %v, want 2", got)
+	}
+	g.SetInt(-7)
+	if got := g.Value(); got != -7 {
+		t.Fatalf("gauge = %v, want -7", got)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_test", "test", []float64{1, 2, 4})
+	for _, v := range []float64{-1, 1, 1.5, 4, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 10.5 {
+		t.Fatalf("sum = %v, want 10.5", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le convention: an observation
+// exactly at a bound counts in that bucket (le is <=), values below the
+// first bound land in the first bucket, values above the last in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_bounds", "test", []float64{1, 2, 4})
+	for _, v := range []float64{-1, 0, 1, 1.5, 2, 4, 4.5} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	series, err := SampleMap([]byte(b.String()))
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, b.String())
+	}
+	want := map[string]float64{
+		`h_bounds_bucket{le="1"}`:    3, // -1, 0, 1
+		`h_bounds_bucket{le="2"}`:    5, // + 1.5, 2
+		`h_bounds_bucket{le="4"}`:    6, // + 4
+		`h_bounds_bucket{le="+Inf"}`: 7, // + 4.5
+		`h_bounds_count`:             7,
+	}
+	for key, v := range want {
+		if got := series[key]; got != v {
+			t.Errorf("%s = %v, want %v\n%s", key, got, v, b.String())
+		}
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_dur", "test", nil) // DurationBuckets
+	h.ObserveDuration(250 * time.Millisecond)
+	if got := h.Sum(); got != 0.25 {
+		t.Fatalf("sum = %v, want 0.25", got)
+	}
+	if got := h.Count(); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+}
+
+func TestDurationBucketsIncreasing(t *testing.T) {
+	b := DurationBuckets()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not increasing at %d: %v", i, b)
+		}
+	}
+}
+
+// TestRegistryIdempotent checks that re-deriving a series handle returns
+// the same instrument, the pattern the engine's hot path relies on.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("c_total", "test")
+	c2 := r.Counter("c_total", "other help is ignored")
+	if c1 != c2 {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	g1 := r.Gauge("g", "test", Label{"k", "a"})
+	g2 := r.Gauge("g", "test", Label{"k", "b"})
+	if g1 == g2 {
+		t.Fatal("distinct label values share an instrument")
+	}
+	if g3 := r.Gauge("g", "test", Label{"k", "a"}); g3 != g1 {
+		t.Fatal("same labels returned a distinct gauge")
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestRegistryPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("taken_total", "test")
+	mustPanic(t, "type clash", func() { r.Gauge("taken_total", "test") })
+	mustPanic(t, "invalid name", func() { r.Counter("bad-name", "test") })
+	mustPanic(t, "leading digit", func() { r.Counter("0abc", "test") })
+	mustPanic(t, "invalid label", func() { r.Counter("ok_total", "test", Label{"bad-key", "v"}) })
+	mustPanic(t, "reserved le label", func() { r.Histogram("h", "test", nil, Label{"le", "1"}) })
+	mustPanic(t, "unsorted bounds", func() { r.Histogram("h2", "test", []float64{2, 1}) })
+	mustPanic(t, "duplicate bound", func() { r.Histogram("h3", "test", []float64{1, 1}) })
+	mustPanic(t, "infinite bound", func() { r.Histogram("h4", "test", []float64{1, math.Inf(1)}) })
+	r.Histogram("h5", "test", []float64{1, 2})
+	mustPanic(t, "bucket clash", func() { r.Histogram("h5", "test", []float64{1, 2, 3}) })
+}
+
+// TestWritePrometheusGolden pins the exact exposition bytes for one
+// registry: family ordering, HELP/TYPE comments, label rendering, and
+// the cumulative histogram triple.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs processed.")
+	c.Add(3)
+	g := r.Gauge("temp_celsius", "Room temperature.", Label{"room", "kitchen"})
+	g.Set(21.5)
+	h := r.Histogram("req_seconds", "Request latency.", []float64{0.25, 1})
+	for _, v := range []float64{0.25, 0.5, 2} {
+		h.Observe(v)
+	}
+	hl := r.Histogram("route_seconds", "Per-route latency.", []float64{1}, Label{"route", "api"})
+	hl.Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP jobs_total Jobs processed.
+# TYPE jobs_total counter
+jobs_total 3
+# HELP temp_celsius Room temperature.
+# TYPE temp_celsius gauge
+temp_celsius{room="kitchen"} 21.5
+# HELP req_seconds Request latency.
+# TYPE req_seconds histogram
+req_seconds_bucket{le="0.25"} 1
+req_seconds_bucket{le="1"} 2
+req_seconds_bucket{le="+Inf"} 3
+req_seconds_sum 2.75
+req_seconds_count 3
+# HELP route_seconds Per-route latency.
+# TYPE route_seconds histogram
+route_seconds_bucket{route="api",le="1"} 1
+route_seconds_bucket{route="api",le="+Inf"} 1
+route_seconds_sum{route="api"} 0.5
+route_seconds_count{route="api"} 1
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+	if err := ValidateExposition([]byte(b.String())); err != nil {
+		t.Errorf("golden output fails own validator: %v", err)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "test", Label{"path", "a\"b\\c\nd"}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaped series %q not found in:\n%s", want, b.String())
+	}
+	if err := ValidateExposition([]byte(b.String())); err != nil {
+		t.Fatalf("escaped exposition invalid: %v", err)
+	}
+}
+
+// TestRegistryConcurrent hammers every instrument kind from parallel
+// goroutines — re-deriving handles through the registry each round —
+// while a scraper renders continuously. Run under -race this is the
+// lock-correctness proof; the final totals prove no update was lost.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const rounds = 2000
+
+	done := make(chan struct{})
+	scraped := make(chan error, 1)
+	go func() {
+		defer close(scraped)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := r.WritePrometheus(io.Discard); err != nil {
+				scraped <- err
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				r.Counter("hammer_total", "test").Inc()
+				r.Gauge("hammer_gauge", "test").Add(1)
+				r.Histogram("hammer_seconds", "test", []float64{1, 2, 4}).Observe(float64(i % 4))
+				r.Counter("hammer_labeled_total", "test", Label{"worker", string(rune('a' + id))}).Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(done)
+	if err := <-scraped; err != nil {
+		t.Fatalf("concurrent scrape failed: %v", err)
+	}
+
+	const total = goroutines * rounds
+	if got := r.Counter("hammer_total", "test").Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := r.Gauge("hammer_gauge", "test").Value(); got != total {
+		t.Errorf("gauge = %v, want %d", got, total)
+	}
+	h := r.Histogram("hammer_seconds", "test", []float64{1, 2, 4})
+	if got := h.Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition([]byte(b.String())); err != nil {
+		t.Fatalf("final exposition invalid: %v\n%s", err, b.String())
+	}
+}

@@ -67,6 +67,20 @@ type TokenBucket struct {
 	// Clock hooks for deterministic tests.
 	now   func() time.Time
 	sleep func(ctx context.Context, d time.Duration) error
+
+	// observer, when set, is told how long each successful Wait blocked
+	// (zero when tokens were on hand). See SetWaitObserver.
+	observer func(blocked time.Duration)
+}
+
+// SetWaitObserver installs fn, called after every successful Wait with
+// the wall time the caller spent blocked on admission (zero when the
+// bucket had tokens). Observability hook: lbserve feeds it into the
+// ingest wait histogram, lbload into its pacer-wait accounting. Must be
+// set before the bucket is shared across goroutines; a nil fn disables
+// it.
+func (b *TokenBucket) SetWaitObserver(fn func(blocked time.Duration)) {
+	b.observer = fn
 }
 
 // NewTokenBucket builds a limiter admitting rate tokens/s (at the pulse
@@ -160,6 +174,10 @@ func (b *TokenBucket) Wait(ctx context.Context, n int) error {
 	b.tokens -= float64(n)
 	deficit := -b.tokens
 	b.mu.Unlock()
+	var t0 time.Time
+	if b.observer != nil {
+		t0 = b.now()
+	}
 	for deficit > 0 {
 		// Estimate the wait from the current instantaneous rate, but
 		// re-check at least a few times per period so the estimate tracks
@@ -185,6 +203,9 @@ func (b *TokenBucket) Wait(ctx context.Context, n int) error {
 		b.refillLocked(b.now())
 		deficit = -b.tokens
 		b.mu.Unlock()
+	}
+	if b.observer != nil {
+		b.observer(b.now().Sub(t0))
 	}
 	return nil
 }
