@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/wal"
 )
 
 func benchConfig() experiments.Config {
@@ -427,6 +428,56 @@ func BenchmarkEngineBurst(b *testing.B) {
 		b.Fatal(err)
 	}
 	eng, err := discretelb.NewEngine(discretelb.EngineConfig{Graph: g, Speeds: s, Tasks: tasks})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := eng.Round()
+		for k := 0; k < events; k++ {
+			node := (k * 9) % g.N()
+			if err := eng.Schedule(discretelb.EngineArrival(at, node, 4)); err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Schedule(discretelb.EngineCompletion(at, node, 4)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineBurstWAL is BenchmarkEngineBurst with a write-ahead log
+// attached at the default fsync policy (interval): every applied event and
+// round marker is encoded and buffered, with periodic fsyncs amortized
+// across rounds. The delta against BenchmarkEngineBurst is the durability
+// overhead in the regime that stresses it most (2048 logged events per
+// round); the acceptance budget is <10%.
+func BenchmarkEngineBurstWAL(b *testing.B) {
+	const events = 1024
+	g, err := discretelb.NewTorus(100, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := discretelb.UniformSpeeds(g.N())
+	tokens := discretelb.UniformRandomLoad(g.N(), 8*int64(g.N()), rand.New(rand.NewSource(1)))
+	tasks, err := discretelb.NewTokens(tokens)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, _, err := wal.Open(wal.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	// SnapshotEvery is set beyond any realistic b.N so the measurement
+	// isolates steady-state logging, not snapshot writes.
+	eng, err := discretelb.NewEngine(discretelb.EngineConfig{
+		Graph: g, Speeds: s, Tasks: tasks, WAL: w, SnapshotEvery: 1 << 30,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}

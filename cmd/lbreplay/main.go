@@ -1,0 +1,202 @@
+// Command lbreplay turns a captured write-ahead log into a reproducible
+// regression trace: it scans an lbserve -wal-dir read-only, rebuilds the
+// engine from a snapshot, re-applies every committed batch, and verifies
+// each round marker along the way — so a soak failure in the field becomes
+// a deterministic local test case.
+//
+// Usage:
+//
+//	lbreplay -wal-dir DIR                 replay + verify, print summary JSON
+//	lbreplay -wal-dir DIR -scan-only      report log contents without replaying
+//	lbreplay -wal-dir DIR -from oldest    replay from the oldest retained snapshot
+//	lbreplay -wal-dir DIR -to-round N     stop after round N (bisect a divergence)
+//	lbreplay -wal-dir DIR -dump trace.ndjson   export the logged events as NDJSON
+//
+// The summary reports the recovered state (round, real total, dummies,
+// max-avg discrepancy vs the Theorem 3 bound) and the SHA-256 state hash —
+// compare hashes across machines or builds to prove two replays agree.
+// A replay that diverges from its round markers exits 1 with the first
+// divergent round named; -to-round brackets it to minimize the trace.
+// -dump writes the committed events in wire NDJSON form, one per line —
+// directly streamable into a fresh lbserve via POST /events/stream.
+//
+// lbreplay never mutates the log directory. A torn or uncommitted tail is
+// reported (as lbserve's recovery would truncate it) but left in place.
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lbreplay:", err)
+		os.Exit(1)
+	}
+}
+
+// summary is the JSON report printed on stdout.
+type summary struct {
+	WALDir           string `json:"wal_dir"`
+	SnapshotLSN      int64  `json:"snapshot_lsn"`
+	SnapshotRound    int64  `json:"snapshot_round"`
+	CommittedBatches int    `json:"committed_batches"`
+	CommittedEvents  int    `json:"committed_events"`
+	LastLSN          int64  `json:"last_lsn"`
+	LastRound        int64  `json:"last_round"`
+	TailEvents       int    `json:"tail_events_discarded,omitempty"`
+	TruncatedBytes   int64  `json:"tail_bytes_beyond_durable_prefix,omitempty"`
+	Corruption       string `json:"tail_corruption,omitempty"`
+
+	// Replay results (absent with -scan-only).
+	Replayed     int     `json:"replayed_batches,omitempty"`
+	Round        int64   `json:"round,omitempty"`
+	RealTotal    int64   `json:"real_total,omitempty"`
+	Dummies      int64   `json:"dummies,omitempty"`
+	Wmax         int64   `json:"wmax,omitempty"`
+	MaxAvg       float64 `json:"max_avg,omitempty"`
+	Bound        float64 `json:"bound,omitempty"`
+	StateHash    string  `json:"state_hash,omitempty"`
+	DumpedEvents int     `json:"dumped_events,omitempty"`
+}
+
+func run() error {
+	var (
+		walDir   = flag.String("wal-dir", "", "write-ahead log directory to replay (required)")
+		from     = flag.String("from", "newest", "snapshot to start from (newest|oldest); oldest gives the longest trace the directory retains")
+		toRound  = flag.Int64("to-round", 0, "stop after this round (0 = replay the whole log)")
+		scanOnly = flag.Bool("scan-only", false, "report the log contents without replaying")
+		dump     = flag.String("dump", "", "write the committed events as wire NDJSON to this file (\"-\" = stdout)")
+		workers  = flag.Int("workers", 0, "engine sharding workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if *walDir == "" {
+		return fmt.Errorf("-wal-dir is required")
+	}
+	if err := cli.ValidateChoice("from", *from, []string{"newest", "oldest"}); err != nil {
+		return err
+	}
+	if err := cli.ValidateNonNegative("to-round", *toRound); err != nil {
+		return err
+	}
+
+	recover := wal.Recover
+	if *from == "oldest" {
+		recover = wal.RecoverOldest
+	}
+	rec, err := recover(*walDir)
+	if err != nil {
+		return err
+	}
+	if !rec.HasState() {
+		return fmt.Errorf("%s holds no recoverable log", *walDir)
+	}
+
+	out := summary{
+		WALDir:           *walDir,
+		SnapshotLSN:      rec.SnapshotLSN,
+		SnapshotRound:    rec.SnapshotRound,
+		CommittedBatches: len(rec.Batches),
+		LastLSN:          rec.LastLSN,
+		LastRound:        rec.LastRound,
+		TailEvents:       rec.TailEvents,
+		TruncatedBytes:   rec.TruncatedBytes,
+	}
+	for i := range rec.Batches {
+		out.CommittedEvents += len(rec.Batches[i].Events)
+	}
+	if rec.Corruption != nil {
+		out.Corruption = rec.Corruption.String()
+	}
+
+	if *dump != "" {
+		n, err := dumpEvents(rec, *dump, *toRound)
+		if err != nil {
+			return err
+		}
+		out.DumpedEvents = n
+	}
+
+	if !*scanOnly {
+		eng, err := engine.NewFromState(rec.Snapshot, engine.Config{Workers: *workers, SampleEvery: 1 << 30})
+		if err != nil {
+			return fmt.Errorf("snapshot rejected: %w", err)
+		}
+		defer eng.Close()
+		for i := range rec.Batches {
+			b := &rec.Batches[i]
+			if *toRound > 0 && b.Mark.Round > *toRound {
+				break
+			}
+			if err := eng.ReplayStep(b.Events, b.Mark); err != nil {
+				// Print what we know before failing: the partial summary is
+				// the bisection state.
+				out.Replayed = i
+				out.Round = eng.Round()
+				printSummary(out)
+				return fmt.Errorf("replay diverged: %w", err)
+			}
+			out.Replayed++
+		}
+		h := eng.StateHash()
+		out.Round = eng.Round()
+		out.RealTotal = eng.RealTotal()
+		out.Dummies = eng.DummiesCreated()
+		out.Wmax = eng.Wmax()
+		out.MaxAvg = eng.MaxAvg()
+		out.Bound = eng.Bound()
+		out.StateHash = hex.EncodeToString(h[:])
+		if err := eng.AuditFull(); err != nil {
+			printSummary(out)
+			return fmt.Errorf("conservation audit after replay: %w", err)
+		}
+	}
+	printSummary(out)
+	return nil
+}
+
+func printSummary(s summary) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s)
+}
+
+// dumpEvents writes the committed events (up to toRound, 0 = all) as wire
+// NDJSON — the exact format POST /events/stream ingests.
+func dumpEvents(rec *wal.Recovery, path string, toRound int64) (int, error) {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	n := 0
+	for i := range rec.Batches {
+		b := &rec.Batches[i]
+		if toRound > 0 && b.Mark.Round > toRound {
+			break
+		}
+		for k := range b.Events {
+			if err := enc.Encode(&b.Events[k]); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, bw.Flush()
+}

@@ -6,6 +6,8 @@
 //
 //	lbserve -addr :8080 -graph torus:32 [-tokens 8] [-maxspeed 1]
 //	        [-workers 0] [-window 4096] [-rate 50] [-seed 1] [-audit]
+//	        [-wal-dir DIR] [-snapshot-every 1024] [-wal-sync interval]
+//	        [-wal-sync-interval 100ms] [-wal-segment 67108864] [-wal-retain 2]
 //	        [-ingest-rate 0] [-ingest-burst 8192] [-ingest-pulse constant]
 //	        [-ingest-floor 0.1] [-ingest-period 10s]
 //	        [-stream-batch 512] [-stream-maxline 65536] [-stream-pending 16384]
@@ -34,6 +36,18 @@
 // with -rate 0 rounds only advance through POST /step. With -audit the
 // engine runs the full conservation recount after every applied event
 // (deep audit) instead of the default O(1) incremental ledger check.
+//
+// Durability: with -wal-dir the daemon appends every applied event and
+// round boundary to a write-ahead log and writes a full-state snapshot
+// every -snapshot-every rounds. On boot, a directory that already holds a
+// log is recovered — newest valid snapshot loaded, committed log tail
+// replayed, torn tail truncated — and the daemon refuses to start on a
+// CRC or conservation-ledger mismatch anywhere before the durable tail
+// (the -graph/-tokens/-maxspeed flags are ignored on recovery; the log
+// carries the state). -wal-sync picks the fsync policy: always (fsync at
+// every round marker), interval (at most once per -wal-sync-interval, the
+// default), never (leave flushing to the OS). A graceful shutdown writes
+// a final snapshot so the next boot replays nothing.
 //
 // Streaming ingest: -stream-batch/-stream-maxline/-stream-pending bound
 // the per-request batch size, line length, and the queue depth at which
@@ -68,6 +82,8 @@ import (
 	"repro/internal/cli"
 	"repro/internal/engine"
 	"repro/internal/load"
+	"repro/internal/obs"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -90,6 +106,13 @@ func run() error {
 		sample    = flag.Int("sample", 1, "take a metrics sample every N rounds")
 		rate      = flag.Float64("rate", 0, "rounds per second to step automatically (0 = manual /step)")
 		audit     = flag.Bool("audit", false, "deep audit: full conservation recount after every applied event")
+
+		walDir       = flag.String("wal-dir", "", "write-ahead log directory (empty = no durability); an existing log is recovered on boot")
+		snapEvery    = flag.Int("snapshot-every", 1024, "write a full-state snapshot every N rounds")
+		walSync      = flag.String("wal-sync", "interval", "WAL fsync policy (interval|always|never)")
+		walSyncEvery = flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync period for -wal-sync interval")
+		walSegment   = flag.Int64("wal-segment", 64<<20, "WAL segment rotation size in bytes")
+		walRetain    = flag.Int("wal-retain", 2, "snapshots to retain (older snapshots and covered segments are pruned)")
 
 		ingestRate   = flag.Float64("ingest-rate", 0, "stream admission rate in events/s at the pulse crest (0 = unlimited)")
 		ingestBurst  = flag.Int("ingest-burst", 8192, "stream admission burst capacity in events")
@@ -128,6 +151,21 @@ func run() error {
 	if err := cli.ValidateNonNegativeFloat("rate", *rate); err != nil {
 		return err
 	}
+	if err := cli.ValidatePositive("snapshot-every", int64(*snapEvery)); err != nil {
+		return err
+	}
+	if err := cli.ValidateChoice("wal-sync", *walSync, wal.SyncPolicyNames()); err != nil {
+		return err
+	}
+	if err := cli.ValidatePositiveDuration("wal-sync-interval", *walSyncEvery); err != nil {
+		return err
+	}
+	if err := cli.ValidatePositive("wal-segment", *walSegment); err != nil {
+		return err
+	}
+	if err := cli.ValidatePositive("wal-retain", int64(*walRetain)); err != nil {
+		return err
+	}
 	if err := cli.ValidateNonNegativeFloat("ingest-rate", *ingestRate); err != nil {
 		return err
 	}
@@ -157,44 +195,105 @@ func run() error {
 	}
 	logger := cli.NewLogger(*logFormat, os.Stderr)
 
-	g, err := cli.ParseGraph(*graphSpec, *seed)
-	if err != nil {
-		return err
-	}
-	rng := rand.New(rand.NewSource(*seed))
-	var s load.Speeds
-	if *maxSpeed <= 1 {
-		s = load.UniformSpeeds(g.N())
-	} else {
-		s, err = workload.RandomSpeeds(g.N(), *maxSpeed, rng)
-		if err != nil {
-			return err
+	// One registry for everything (engine, ingest, WAL, recovery gauges) so
+	// a single /metrics/prom scrape sees the whole daemon.
+	reg := obs.NewRegistry()
+	var (
+		walWriter *wal.Writer
+		recovery  *wal.Recovery
+		err       error
+	)
+	if *walDir != "" {
+		policy, perr := wal.ParseSyncPolicy(*walSync)
+		if perr != nil {
+			return perr
 		}
-	}
-	var tasks load.TaskDist
-	if *tokens > 0 {
-		tasks, err = load.NewTokens(workload.UniformRandom(g.N(), *tokens*int64(g.N()), rng))
+		walWriter, recovery, err = wal.Open(wal.Options{
+			Dir:             *walDir,
+			SegmentBytes:    *walSegment,
+			Sync:            policy,
+			SyncEvery:       *walSyncEvery,
+			RetainSnapshots: *walRetain,
+			Registry:        reg,
+		})
 		if err != nil {
-			return err
+			// Corruption before the durable tail (or an unreadable chain):
+			// refuse to start rather than serve a state the log disagrees
+			// with. The error names the file and byte offset.
+			return fmt.Errorf("wal recovery refused: %w", err)
+		}
+		defer walWriter.Close()
+		if recovery.Corruption != nil {
+			logger.Warn("lbserve: wal tail truncated to durable prefix",
+				"detail", recovery.Corruption.String(), "truncated_bytes", recovery.TruncatedBytes)
 		}
 	}
 
-	eng, err := engine.New(engine.Config{
-		Graph:         g,
-		Speeds:        s,
-		Tasks:         tasks,
+	cfg := engine.Config{
 		Workers:       *workers,
 		MetricsWindow: *window,
 		SampleEvery:   *sample,
 		DeepAudit:     *audit,
 		FlightWindow:  *traceWindow,
-	})
-	if err != nil {
-		return err
+		Registry:      reg,
+		SnapshotEvery: *snapEvery,
+	}
+	if walWriter != nil {
+		cfg.WAL = walWriter
+	}
+
+	var eng *engine.Engine
+	if recovery != nil && recovery.HasState() {
+		t0 := time.Now()
+		eng, err = engine.Restore(recovery, cfg)
+		if err != nil {
+			// A CRC-valid log that replays to a different state than its
+			// markers claim means the build and the log disagree — refuse.
+			return fmt.Errorf("wal recovery refused: %w", err)
+		}
+		elapsed := time.Since(t0)
+		reg.Gauge("lbserve_recovery_snapshot_round", "Round of the snapshot recovery started from.").SetInt(recovery.SnapshotRound)
+		reg.Gauge("lbserve_recovery_batches_replayed", "Committed log batches replayed on boot.").SetInt(int64(len(recovery.Batches)))
+		reg.Gauge("lbserve_recovery_tail_events_discarded", "Uncommitted trailing event records discarded on boot.").SetInt(int64(recovery.TailEvents))
+		reg.Gauge("lbserve_recovery_truncated_bytes", "Log tail bytes truncated to the durable prefix on boot.").SetInt(recovery.TruncatedBytes)
+		reg.Gauge("lbserve_recovery_seconds", "Wall time of snapshot load + log replay on boot.").Set(elapsed.Seconds())
+		logger.Info("lbserve: recovered from write-ahead log",
+			"wal_dir", *walDir, "snapshot_round", recovery.SnapshotRound,
+			"batches_replayed", len(recovery.Batches), "round", eng.Round(),
+			"real_total", eng.RealTotal(), "tail_events_discarded", recovery.TailEvents,
+			"elapsed", elapsed.Round(time.Millisecond).String())
+	} else {
+		g, gerr := cli.ParseGraph(*graphSpec, *seed)
+		if gerr != nil {
+			return gerr
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		var s load.Speeds
+		if *maxSpeed <= 1 {
+			s = load.UniformSpeeds(g.N())
+		} else {
+			s, err = workload.RandomSpeeds(g.N(), *maxSpeed, rng)
+			if err != nil {
+				return err
+			}
+		}
+		var tasks load.TaskDist
+		if *tokens > 0 {
+			tasks, err = load.NewTokens(workload.UniformRandom(g.N(), *tokens*int64(g.N()), rng))
+			if err != nil {
+				return err
+			}
+		}
+		cfg.Graph, cfg.Speeds, cfg.Tasks = g, s, tasks
+		eng, err = engine.New(cfg)
+		if err != nil {
+			return err
+		}
 	}
 	// Read before the auto-step goroutine and listener start: after that,
 	// the engine is only safe to touch through the server mutex.
 	initialW := eng.RealTotal()
+	nodes, edges := eng.NumNodes(), eng.NumEdges()
 	sv := engine.NewServer(eng).WithStreamLimits(engine.StreamLimits{
 		MaxLineBytes: *streamMaxline,
 		MaxBatch:     *streamBatch,
@@ -216,7 +315,19 @@ func run() error {
 	// lock windows — closing through Do serializes with it, and its next
 	// chunk fails cleanly with ErrClosed instead of racing a closed pool.
 	defer func() {
-		_ = sv.Do(func(e *engine.Engine) error { e.Close(); return nil })
+		_ = sv.Do(func(e *engine.Engine) error {
+			if walWriter != nil {
+				// A final snapshot makes the shutdown point durable so the
+				// next boot replays nothing. SnapshotNow refuses if the
+				// engine latched an inconsistency — a poisoned state must
+				// not become the recovery baseline.
+				if err := e.SnapshotNow(); err != nil {
+					logger.Warn("lbserve: final snapshot failed", "err", err)
+				}
+			}
+			e.Close()
+			return nil
+		})
 	}()
 
 	// Shutdown order (LIFO): cancel the context, wait for the auto-step
@@ -246,7 +357,7 @@ func run() error {
 					err := sv.Do(func(e *engine.Engine) error { return e.Step() })
 					switch {
 					case err == nil:
-					case errors.Is(err, engine.ErrInconsistent), errors.Is(err, engine.ErrClosed):
+					case errors.Is(err, engine.ErrInconsistent), errors.Is(err, engine.ErrWAL), errors.Is(err, engine.ErrClosed):
 						// A corrupt (or closed) engine must not be stepped
 						// further; stop auto-stepping but keep serving
 						// snapshots and metrics for the postmortem. The
@@ -292,10 +403,11 @@ func run() error {
 	go func() { errc <- srv.ListenAndServe() }()
 
 	logger.Info("lbserve: listening",
-		"addr", *addr, "graph", *graphSpec, "nodes", g.N(), "edges", g.M(),
+		"addr", *addr, "graph", *graphSpec, "nodes", nodes, "edges", edges,
 		"real_total", initialW, "seed", *seed, "rate", *rate, "audit", *audit,
 		"workers", *workers, "window", *window, "sample", *sample,
-		"ingest_rate", *ingestRate, "trace", *traceWindow, "pprof", *pprofOn)
+		"ingest_rate", *ingestRate, "trace", *traceWindow, "pprof", *pprofOn,
+		"wal_dir", *walDir)
 	select {
 	case err := <-errc:
 		return err

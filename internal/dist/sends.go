@@ -61,6 +61,19 @@ func NewSendState(initial []load.Task, degree int) *SendState {
 	return st
 }
 
+// RestoreSendState rebuilds a node's pool from persisted state: the exact
+// task sequence (copied, pool order preserved — LIFO sends depend on it)
+// and the cumulative dummy-draw counter, which NewSendState cannot carry.
+// Degree-0 form, for engines that keep flow accumulators elsewhere.
+func RestoreSendState(tasks []load.Task, dummies int64) *SendState {
+	if dummies < 0 {
+		dummies = 0
+	}
+	st := NewSendState(tasks, 0)
+	st.dummies = dummies
+	return st
+}
+
 // BeginRound marks the round boundary: every task currently in the pool
 // becomes available for forwarding this round. DecideSends calls it
 // implicitly; executions that drive Take directly (package engine) call it

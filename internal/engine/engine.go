@@ -15,6 +15,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/load"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // Config configures a runtime instance.
@@ -49,6 +50,13 @@ type Config struct {
 	// ring of recent applied events and round summaries dumped by
 	// GET /debug/trace; 0 means 1024.
 	FlightWindow int
+	// WAL, when non-nil, is the durability sink the engine logs through:
+	// every applied event and every round boundary is appended before Step
+	// returns (see AttachWAL). A log failure poisons the engine with ErrWAL.
+	WAL WALSink
+	// SnapshotEvery writes a full-state snapshot to the WAL every that many
+	// rounds; 0 means 1024. Ignored without a WAL.
+	SnapshotEvery int
 }
 
 // outMsg is one round's batch on an edge: the receiving node slot and the
@@ -147,6 +155,15 @@ type Engine struct {
 	// later Step fails with it too — the "must not be stepped further"
 	// contract is enforced by the engine, not left to each driver.
 	poisoned error
+
+	// wal, when set (AttachWAL/Config.WAL), receives every applied event
+	// and round boundary before Step returns; walSnapEvery is the snapshot
+	// cadence in rounds. A sink failure poisons the engine with ErrWAL.
+	wal          WALSink
+	walSnapEvery int
+	// walScratch stages the wire form of the event being logged so the
+	// sink call does not force a heap allocation per event (see logEvent).
+	walScratch wire.Event
 }
 
 // ErrClosed is returned by operations on a closed engine.
@@ -243,6 +260,12 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	copy(e.alpha, alpha)
+	if cfg.WAL != nil {
+		if err := e.AttachWAL(cfg.WAL, cfg.SnapshotEvery); err != nil {
+			e.pool.close()
+			return nil, err
+		}
+	}
 	return e, nil
 }
 
@@ -373,6 +396,16 @@ func (e *Engine) Step() error {
 		applied++
 		e.instr.eventsApplied[ev.Kind].Inc()
 		e.recordEvent(ev)
+		if e.wal != nil {
+			// Log the applied event before anything else can fail: the WAL
+			// must hold every event the state absorbed, in apply order.
+			// Rejected events are never logged — replay applies the log
+			// unconditionally.
+			if err := e.logEvent(ev); err != nil {
+				stepErr = err
+				break
+			}
+		}
 		if e.deepAudit {
 			if err := e.AuditFull(); err != nil {
 				stepErr = fmt.Errorf("engine: round %d after %s event: %w: %w", e.round, ev.Kind, ErrInconsistent, err)
@@ -399,7 +432,7 @@ func (e *Engine) Step() error {
 		e.instr.stage["ledger"].ObserveDuration(time.Since(tLedger))
 	}
 	if stepErr != nil {
-		if errors.Is(stepErr, ErrInconsistent) {
+		if errors.Is(stepErr, ErrInconsistent) || errors.Is(stepErr, ErrWAL) {
 			e.poisoned = stepErr
 		}
 		e.sample(time.Since(start))
@@ -407,6 +440,18 @@ func (e *Engine) Step() error {
 		return stepErr
 	}
 	e.runRound()
+	if e.wal != nil {
+		// The round marker commits this step's event batch (and any prefix
+		// a rejection left uncommitted in an earlier step); it must reach
+		// the log before Step returns so a crash never loses a completed
+		// round beyond the fsync policy's window.
+		if err := e.walCommit(); err != nil {
+			e.poisoned = err
+			e.sample(time.Since(start))
+			e.instr.stepSeconds.ObserveDuration(time.Since(start))
+			return err
+		}
+	}
 	if e.round%int64(e.sampleEvery) == 0 {
 		tSample := time.Now()
 		e.sample(time.Since(start))

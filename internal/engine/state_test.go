@@ -1,0 +1,226 @@
+package engine
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// churnedEngine builds a 4x4-torus engine, drives it through rounds of
+// seeded churn-storm events, and returns it mid-flight — a state with
+// recycled slots, dummies in play and heterogeneous weights, i.e. the
+// hardest case for a byte-identical round trip.
+func churnedEngine(t *testing.T, rounds int, workers int) *Engine {
+	t.Helper()
+	g, err := graph.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds := make(load.Speeds, g.N())
+	for i := range speeds {
+		speeds[i] = 1 + int64(i%3)
+	}
+	rng := rand.New(rand.NewSource(11))
+	tasks, err := load.NewTokens(workload.UniformRandom(g.N(), 400, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustEngine(t, Config{Graph: g, Speeds: speeds, Tasks: tasks, Workers: workers})
+	scn := scenarioFor(t, g.N())
+	for r := 0; r < rounds; r++ {
+		scheduleScenario(t, scn, 3, e)
+		if err := e.Step(); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	return e
+}
+
+func scenarioFor(t *testing.T, n int) workload.Scenario {
+	t.Helper()
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	scn, err := workload.NewScenario("churn-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scn.Init(workload.ScenarioParams{
+		Nodes: nodes, Seed: 42, Tokens: 3, Wmax: 4, ChurnEvery: 6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return scn
+}
+
+// scheduleScenario feeds the next count scenario events — through the same
+// wire decoding path the NDJSON stream and the WAL use — into every engine.
+func scheduleScenario(t *testing.T, scn workload.Scenario, count int, engines ...*Engine) {
+	t.Helper()
+	for k := 0; k < count; k++ {
+		w := scn.Next()
+		ev, err := FromWire(&w)
+		if err != nil {
+			t.Fatalf("scenario event %+v: %v", w, err)
+		}
+		for _, e := range engines {
+			if err := e.Schedule(ev); err != nil {
+				t.Fatalf("schedule: %v", err)
+			}
+		}
+	}
+}
+
+func TestEncodeStateRoundTrip(t *testing.T) {
+	e := churnedEngine(t, 12, 4)
+	st := e.EncodeState()
+
+	// Worker count is a runtime knob, not state: restoring with a
+	// different sharding must still be byte-identical.
+	r, err := NewFromState(st, Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("NewFromState: %v", err)
+	}
+	t.Cleanup(r.Close)
+	if !bytes.Equal(r.EncodeState(), st) {
+		t.Fatalf("encode→restore→encode is not byte-identical")
+	}
+	if r.StateHash() != e.StateHash() {
+		t.Fatalf("state hashes differ after restore")
+	}
+	if r.Round() != e.Round() || r.RealTotal() != e.RealTotal() || r.Wmax() != e.Wmax() {
+		t.Fatalf("restored scalars diverge: round %d/%d real %d/%d wmax %d/%d",
+			r.Round(), e.Round(), r.RealTotal(), e.RealTotal(), r.Wmax(), e.Wmax())
+	}
+
+	// The restored engine must not merely look identical — it must BEHAVE
+	// identically under further shared churn, round by round.
+	scn := scenarioFor(t, 16)
+	for round := 0; round < 10; round++ {
+		scheduleScenario(t, scn, 2, e, r)
+		errE, errR := e.Step(), r.Step()
+		if (errE == nil) != (errR == nil) {
+			t.Fatalf("round %d: step outcomes diverge: %v vs %v", round, errE, errR)
+		}
+		if e.StateHash() != r.StateHash() {
+			t.Fatalf("round %d: original and restored engines diverged", round)
+		}
+	}
+	if err := r.AuditFull(); err != nil {
+		t.Fatalf("restored engine fails conservation: %v", err)
+	}
+}
+
+func TestNewFromStateRejectsCorruptInput(t *testing.T) {
+	e := churnedEngine(t, 6, 2)
+	st := e.EncodeState()
+
+	if _, err := NewFromState(nil, Config{}); err == nil {
+		t.Fatalf("nil state accepted")
+	}
+	bad := append([]byte(nil), st...)
+	bad[0] ^= 0xff
+	if _, err := NewFromState(bad, Config{}); err == nil {
+		t.Fatalf("bad magic accepted")
+	}
+	bad = append([]byte(nil), st...)
+	bad[8] = 99
+	if _, err := NewFromState(bad, Config{}); err == nil {
+		t.Fatalf("unknown version accepted")
+	}
+	// Every truncation must fail cleanly — a torn snapshot file must never
+	// produce a half-restored engine.
+	for cut := 9; cut < len(st); cut += 13 {
+		if eng, err := NewFromState(st[:cut], Config{Workers: 1}); err == nil {
+			eng.Close()
+			t.Fatalf("truncation at %d/%d accepted", cut, len(st))
+		}
+	}
+	// Bit flips must never panic; they either fail validation or decode to
+	// some other fully consistent state.
+	for off := 9; off < len(st); off += 7 {
+		mut := append([]byte(nil), st...)
+		mut[off] ^= 0x04
+		eng, err := NewFromState(mut, Config{Workers: 1})
+		if err == nil {
+			if err := eng.AuditFull(); err != nil {
+				eng.Close()
+				t.Fatalf("flip at %d restored an inconsistent engine: %v", off, err)
+			}
+			eng.Close()
+		}
+	}
+}
+
+// TestStateGolden pins the snapshot encoding: a fixed engine history must
+// encode to the exact bytes checked in under testdata/. A diff here means
+// the format changed — bump stateVer and write a migration before
+// regenerating with -update, or old logs become unreadable.
+func TestStateGolden(t *testing.T) {
+	g, err := graph.Torus(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds := load.Speeds{1, 2, 3, 1, 2, 3, 1, 2, 3}
+	tasks, err := load.NewTokens([]int64{5, 0, 3, 2, 0, 0, 1, 4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustEngine(t, Config{Graph: g, Speeds: speeds, Tasks: tasks, Workers: 2})
+	script := [][]Event{
+		{ArrivalTasks(0, 0, []load.Task{{Weight: 3}, {Weight: 1}, {Weight: 2}})},
+		{Join(1, 2, 0, 4), Completion(1, 0, 1)},
+		{EdgeChange(2, [][2]int{{0, 4}}, nil)},
+		{Leave(3, 5)},
+		nil,
+		nil,
+	}
+	for round, events := range script {
+		for _, ev := range events {
+			if err := e.Schedule(ev); err != nil {
+				t.Fatalf("round %d: schedule: %v", round, err)
+			}
+		}
+		if err := e.Step(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	got := e.EncodeState()
+
+	golden := filepath.Join("testdata", "state_small_torus.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/engine -run TestStateGolden -update` to generate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("snapshot encoding drifted from golden file (%d bytes vs %d): if intentional, bump stateVer and regenerate with -update", len(got), len(want))
+	}
+
+	// The checked-in bytes themselves round-trip byte-exactly.
+	r, err := NewFromState(want, Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("golden snapshot rejected: %v", err)
+	}
+	t.Cleanup(r.Close)
+	if !bytes.Equal(r.EncodeState(), want) {
+		t.Fatalf("golden snapshot does not round-trip byte-exactly")
+	}
+}

@@ -34,6 +34,25 @@ type WireEvent = wire.Event
 func FromWire(req *WireEvent) (Event, error) {
 	switch req.Kind {
 	case "arrival":
+		if len(req.Weights) > 0 {
+			// Explicit per-task weight list (the lossless form the WAL
+			// records for heterogeneous arrivals). Tokens, when set, must
+			// agree with it.
+			if req.Tokens != 0 && req.Tokens != len(req.Weights) {
+				return Event{}, fmt.Errorf("arrival tokens %d != weights length %d", req.Tokens, len(req.Weights))
+			}
+			if len(req.Weights) > maxArrivalTokens {
+				return Event{}, fmt.Errorf("arrival weights length %d exceeds cap %d", len(req.Weights), maxArrivalTokens)
+			}
+			tasks := make([]load.Task, len(req.Weights))
+			for i, w := range req.Weights {
+				if w < 1 {
+					return Event{}, fmt.Errorf("arrival weight %d at index %d must be >= 1", w, i)
+				}
+				tasks[i] = load.Task{Weight: w}
+			}
+			return ArrivalTasks(req.At, req.Node, tasks), nil
+		}
 		if req.Tokens < 1 {
 			return Event{}, fmt.Errorf("arrival needs tokens >= 1, got %d", req.Tokens)
 		}

@@ -1,0 +1,349 @@
+// Package wal implements the durable event log of the online engine: an
+// append-only sequence of length-prefixed, CRC-checked records — applied
+// runtime events (internal/wire form) and round markers — split across
+// rotating segment files, with periodic full-state snapshots that bound
+// replay and allow the log prefix they cover to be truncated.
+//
+// Durability contract: a round marker is the commit record of the batch of
+// event records since the previous marker. Recovery replays only committed
+// batches; trailing event records without a closing marker (a crash
+// mid-step) are discarded and reported. The fsync policy (Options.Sync)
+// decides when appended records become durable: SyncAlways fsyncs at every
+// round marker, SyncInterval (the default) at most once per SyncEvery, and
+// SyncNever leaves flushing to the OS — the classic
+// throughput/durability-window trade.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/wire"
+)
+
+// Record types. Snapshots live in separate snap-*.snap files, not in the
+// record stream.
+const (
+	// RecordEvent is one applied runtime event, payload = EncodeEvent.
+	RecordEvent byte = 1
+	// RecordRound is a round marker, payload = EncodeRoundMark. It commits
+	// the event records appended since the previous marker.
+	RecordRound byte = 2
+)
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms the engine targets.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// maxRecordPayload bounds one record's payload so a corrupt length prefix
+// cannot ask the reader to allocate gigabytes.
+const maxRecordPayload = 16 << 20
+
+// ErrCorrupt marks framing-level corruption: a bad length prefix, an
+// unknown record type, or a CRC mismatch. Callers distinguish a torn tail
+// (truncate to the durable prefix) from mid-log corruption (fail loudly)
+// by where the corrupt record sits.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// RoundMark is the payload of a RecordRound: the post-round ledger
+// checkpoint the engine writes after every balancing round. Replay
+// re-derives the same quantities and refuses to continue on a mismatch, so
+// a divergent replay is caught at the first round boundary after the
+// divergence, named by round.
+type RoundMark struct {
+	// Round is the engine's round counter after the round completed.
+	Round int64
+	// Real is the conserved non-dummy task weight W (expectedReal).
+	Real int64
+	// Total is the ledger's aggregate pool weight, dummies included.
+	Total int64
+	// Created is the cumulative dummy weight ever drawn.
+	Created int64
+	// Wmax is the maximum task weight seen so far.
+	Wmax int64
+}
+
+// AppendRecord appends one framed record to dst and returns the extended
+// slice. Frame layout:
+//
+//	uint32-LE payload length | type byte | payload | uint32-LE CRC32C
+//
+// where the CRC covers the type byte and the payload.
+func AppendRecord(dst []byte, typ byte, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	body := len(dst)
+	dst = append(dst, typ)
+	dst = append(dst, payload...)
+	crc := crc32.Update(0, crcTable, dst[body:])
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// DecodeRecord parses one framed record from the front of b. It returns
+// the record type, its payload (aliasing b), and the total number of bytes
+// the record occupies. A short buffer returns (0, nil, 0, errShort); any
+// other failure wraps ErrCorrupt.
+func DecodeRecord(b []byte) (typ byte, payload []byte, size int, err error) {
+	if len(b) < 4 {
+		return 0, nil, 0, errShort
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n > maxRecordPayload {
+		return 0, nil, 0, fmt.Errorf("%w: payload length %d exceeds cap %d", ErrCorrupt, n, maxRecordPayload)
+	}
+	size = 4 + 1 + int(n) + 4
+	if len(b) < size {
+		return 0, nil, 0, errShort
+	}
+	typ = b[4]
+	if typ != RecordEvent && typ != RecordRound {
+		return 0, nil, 0, fmt.Errorf("%w: unknown record type %d", ErrCorrupt, typ)
+	}
+	payload = b[5 : 5+int(n)]
+	want := binary.LittleEndian.Uint32(b[5+int(n):])
+	crc := crc32.Update(0, crcTable, b[4:5+int(n)])
+	if crc != want {
+		return 0, nil, 0, fmt.Errorf("%w: crc mismatch (stored %08x, computed %08x)", ErrCorrupt, want, crc)
+	}
+	return typ, payload, size, nil
+}
+
+// errShort reports that a buffer ends mid-record — at the tail of the last
+// segment this is a torn write, anywhere else it is corruption.
+var errShort = errors.New("wal: short record")
+
+// Event kind bytes of the binary event encoding, mapping wire.Event.Kind.
+const (
+	kindArrival    byte = 1
+	kindCompletion byte = 2
+	kindJoin       byte = 3
+	kindLeave      byte = 4
+	kindEdgeChange byte = 5
+)
+
+func kindByte(kind string) (byte, error) {
+	switch kind {
+	case "arrival":
+		return kindArrival, nil
+	case "completion":
+		return kindCompletion, nil
+	case "join":
+		return kindJoin, nil
+	case "leave":
+		return kindLeave, nil
+	case "edge-change":
+		return kindEdgeChange, nil
+	default:
+		return 0, fmt.Errorf("wal: unencodable event kind %q", kind)
+	}
+}
+
+func kindString(b byte) (string, error) {
+	switch b {
+	case kindArrival:
+		return "arrival", nil
+	case kindCompletion:
+		return "completion", nil
+	case kindJoin:
+		return "join", nil
+	case kindLeave:
+		return "leave", nil
+	case kindEdgeChange:
+		return "edge-change", nil
+	default:
+		return "", fmt.Errorf("%w: unknown event kind byte %d", ErrCorrupt, b)
+	}
+}
+
+// EncodeEvent appends the binary form of one wire event to dst. The
+// encoding is kind byte + varints, field order fixed per kind; it is the
+// payload of a RecordEvent. Only the fields the kind uses are encoded, so
+// DecodeEvent(EncodeEvent(ev)) == ev holds exactly for events that are
+// canonical for their kind (zero-valued unused fields), which every event
+// the engine logs is.
+func EncodeEvent(dst []byte, ev *wire.Event) ([]byte, error) {
+	kb, err := kindByte(ev.Kind)
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, kb)
+	dst = binary.AppendVarint(dst, ev.At)
+	switch kb {
+	case kindArrival:
+		dst = binary.AppendVarint(dst, int64(ev.Node))
+		dst = binary.AppendUvarint(dst, uint64(ev.Tokens))
+		dst = binary.AppendVarint(dst, ev.Weight)
+		dst = binary.AppendUvarint(dst, uint64(len(ev.Weights)))
+		for _, w := range ev.Weights {
+			dst = binary.AppendVarint(dst, w)
+		}
+	case kindCompletion:
+		dst = binary.AppendVarint(dst, int64(ev.Node))
+		dst = binary.AppendUvarint(dst, uint64(ev.Count))
+	case kindJoin:
+		dst = binary.AppendVarint(dst, ev.Speed)
+		dst = binary.AppendUvarint(dst, uint64(len(ev.Peers)))
+		for _, p := range ev.Peers {
+			dst = binary.AppendVarint(dst, int64(p))
+		}
+	case kindLeave:
+		dst = binary.AppendVarint(dst, int64(ev.Node))
+	case kindEdgeChange:
+		dst = appendPairs(dst, ev.Add)
+		dst = appendPairs(dst, ev.Remove)
+	}
+	return dst, nil
+}
+
+func appendPairs(dst []byte, pairs [][2]int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(pairs)))
+	for _, uv := range pairs {
+		dst = binary.AppendVarint(dst, int64(uv[0]))
+		dst = binary.AppendVarint(dst, int64(uv[1]))
+	}
+	return dst
+}
+
+// decoder reads varints off a payload with saturating error state.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.err = fmt.Errorf("%w: truncated varint", ErrCorrupt)
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.err = fmt.Errorf("%w: truncated uvarint", ErrCorrupt)
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// count validates a decoded collection length against both the remaining
+// payload (each element costs at least one byte) and an absolute cap, so a
+// corrupt length cannot drive a huge allocation.
+func (d *decoder) count(v uint64) int {
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(len(d.b)) || v > maxRecordPayload {
+		d.err = fmt.Errorf("%w: collection length %d exceeds remaining payload %d", ErrCorrupt, v, len(d.b))
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) pairs() [][2]int {
+	n := d.count(d.uvarint())
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([][2]int, n)
+	for i := range out {
+		out[i][0] = int(d.varint())
+		out[i][1] = int(d.varint())
+	}
+	return out
+}
+
+// DecodeEvent parses the payload of a RecordEvent back into a wire event.
+func DecodeEvent(payload []byte) (wire.Event, error) {
+	if len(payload) == 0 {
+		return wire.Event{}, fmt.Errorf("%w: empty event payload", ErrCorrupt)
+	}
+	kind, err := kindString(payload[0])
+	if err != nil {
+		return wire.Event{}, err
+	}
+	d := &decoder{b: payload[1:]}
+	ev := wire.Event{Kind: kind, At: d.varint()}
+	switch payload[0] {
+	case kindArrival:
+		ev.Node = int(d.varint())
+		ev.Tokens = int(d.uvarint())
+		ev.Weight = d.varint()
+		if n := d.count(d.uvarint()); n > 0 {
+			ev.Weights = make([]int64, n)
+			for i := range ev.Weights {
+				ev.Weights[i] = d.varint()
+			}
+		}
+	case kindCompletion:
+		ev.Node = int(d.varint())
+		ev.Count = int(d.uvarint())
+	case kindJoin:
+		ev.Speed = d.varint()
+		if n := d.count(d.uvarint()); n > 0 {
+			ev.Peers = make([]int, n)
+			for i := range ev.Peers {
+				ev.Peers[i] = int(d.varint())
+			}
+		}
+	case kindLeave:
+		ev.Node = int(d.varint())
+	case kindEdgeChange:
+		ev.Add = d.pairs()
+		ev.Remove = d.pairs()
+	}
+	if d.err != nil {
+		return wire.Event{}, d.err
+	}
+	if len(d.b) != 0 {
+		return wire.Event{}, fmt.Errorf("%w: %d trailing bytes after event", ErrCorrupt, len(d.b))
+	}
+	if ev.Tokens < 0 || ev.Count < 0 {
+		return wire.Event{}, fmt.Errorf("%w: negative count field", ErrCorrupt)
+	}
+	return ev, nil
+}
+
+// EncodeRoundMark appends the binary form of a round marker to dst — the
+// payload of a RecordRound.
+func EncodeRoundMark(dst []byte, m RoundMark) []byte {
+	dst = binary.AppendVarint(dst, m.Round)
+	dst = binary.AppendVarint(dst, m.Real)
+	dst = binary.AppendVarint(dst, m.Total)
+	dst = binary.AppendVarint(dst, m.Created)
+	dst = binary.AppendVarint(dst, m.Wmax)
+	return dst
+}
+
+// DecodeRoundMark parses the payload of a RecordRound.
+func DecodeRoundMark(payload []byte) (RoundMark, error) {
+	d := &decoder{b: payload}
+	m := RoundMark{
+		Round:   d.varint(),
+		Real:    d.varint(),
+		Total:   d.varint(),
+		Created: d.varint(),
+		Wmax:    d.varint(),
+	}
+	if d.err != nil {
+		return RoundMark{}, d.err
+	}
+	if len(d.b) != 0 {
+		return RoundMark{}, fmt.Errorf("%w: %d trailing bytes after round mark", ErrCorrupt, len(d.b))
+	}
+	if m.Round < 0 {
+		return RoundMark{}, fmt.Errorf("%w: negative round %d", ErrCorrupt, m.Round)
+	}
+	return m, nil
+}

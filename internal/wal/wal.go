@@ -1,0 +1,506 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// SyncPolicy selects when appended records are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncInterval fsyncs at a round marker when at least SyncEvery has
+	// elapsed since the last sync — the default: bounded data-loss window,
+	// near-zero amortized cost.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs at every round marker: no committed round is ever
+	// lost, at one fsync per round.
+	SyncAlways
+	// SyncNever leaves durability to the OS page cache; records are still
+	// flushed to the file at every round marker. A machine crash may lose
+	// recent rounds, a process crash loses nothing.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the lbserve flag values to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "interval":
+		return SyncInterval, nil
+	case "always":
+		return SyncAlways, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync policy %q (interval|always|never)", s)
+	}
+}
+
+// SyncPolicyNames lists the accepted -wal-sync values.
+func SyncPolicyNames() []string { return []string{"interval", "always", "never"} }
+
+// Options configures a Writer.
+type Options struct {
+	// Dir is the log directory (required); created if missing.
+	Dir string
+	// SegmentBytes rotates to a fresh segment once the current one exceeds
+	// this size; 0 means 64 MiB.
+	SegmentBytes int64
+	// Sync is the fsync policy (default SyncInterval).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval period; 0 means 100ms.
+	SyncEvery time.Duration
+	// RetainSnapshots keeps that many most recent snapshot files; segments
+	// wholly covered by the oldest retained snapshot are deleted after each
+	// new snapshot becomes durable. 0 means 2.
+	RetainSnapshots int
+	// Registry receives the writer's instruments (appends, fsync timing,
+	// rotations, snapshot sizes); nil disables them.
+	Registry *obs.Registry
+}
+
+func (o Options) normalize() (Options, error) {
+	if o.Dir == "" {
+		return o, fmt.Errorf("wal: empty directory")
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.RetainSnapshots <= 0 {
+		o.RetainSnapshots = 2
+	}
+	return o, nil
+}
+
+// File naming and headers. Segment files are wal-<firstLSN>.seg and start
+// with a header carrying the magic, version and first record LSN; snapshot
+// files are snap-<lsn>.snap (see writeSnapshotFile). The LSN is the global
+// record index: record k of the whole log has LSN k+1, and a snapshot's
+// LSN says how many records it covers.
+const (
+	segMagic  = "LBWSEG01"
+	snapMagic = "LBWSNAP1"
+	segVer    = 1
+	snapVer   = 1
+)
+
+func segName(firstLSN int64) string { return fmt.Sprintf("wal-%016x.seg", firstLSN) }
+func snapName(lsn int64) string     { return fmt.Sprintf("snap-%016x.snap", lsn) }
+
+type walInstruments struct {
+	records   *obs.Counter
+	marks     *obs.Counter
+	bytes     *obs.Counter
+	syncs     *obs.Counter
+	syncTime  *obs.Histogram
+	rotations *obs.Counter
+	snapshots *obs.Counter
+	snapBytes *obs.Gauge
+}
+
+func newWALInstruments(reg *obs.Registry) *walInstruments {
+	if reg == nil {
+		return nil
+	}
+	return &walInstruments{
+		records:   reg.Counter("wal_event_records_total", "Event records appended to the write-ahead log."),
+		marks:     reg.Counter("wal_round_marks_total", "Round markers (batch commit records) appended to the log."),
+		bytes:     reg.Counter("wal_bytes_total", "Bytes appended to log segments."),
+		syncs:     reg.Counter("wal_syncs_total", "fsync calls on log segments."),
+		syncTime:  reg.Histogram("wal_sync_seconds", "Wall time of log segment fsyncs.", nil),
+		rotations: reg.Counter("wal_segment_rotations_total", "Segment files opened after the first."),
+		snapshots: reg.Counter("wal_snapshots_total", "Durable snapshots written."),
+		snapBytes: reg.Gauge("wal_snapshot_bytes", "Size of the most recent snapshot payload."),
+	}
+}
+
+// Writer appends records to the segmented log. It is not safe for
+// concurrent use; the engine's serialization domain covers it.
+type Writer struct {
+	opts Options
+	dir  *os.File // for directory fsyncs
+
+	f *os.File
+
+	segStart int64 // LSN of the current segment's first record
+	segSize  int64
+	lsn      int64 // LSN of the last appended record
+	lastSync time.Time
+
+	// snapLSN is the LSN of the newest durable snapshot.
+	snapLSN int64
+
+	// out accumulates framed records not yet written to the segment file.
+	// Records are encoded directly into it — no per-record staging copy —
+	// and it drains to the file once it passes flushThreshold, at round
+	// markers per the sync policy, and on rotation/close.
+	out    []byte
+	instr  *walInstruments
+	closed bool
+}
+
+// flushThreshold bounds how many buffered bytes accumulate before the
+// writer drains out to the segment file (without fsync).
+const flushThreshold = 256 << 10
+
+// Create opens a fresh log in an empty (or new) directory. Use Open to
+// recover and continue an existing one.
+func Create(opts Options) (*Writer, error) {
+	w, rec, err := Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	if rec.SnapshotLSN != 0 || len(rec.Batches) > 0 || rec.LastLSN != 0 {
+		w.Close()
+		return nil, fmt.Errorf("wal: directory %s already holds a log (use Open)", opts.Dir)
+	}
+	return w, nil
+}
+
+// Open recovers the log in dir (scanning segments and snapshots, physically
+// truncating a torn tail) and returns a Writer positioned to append after
+// the durable prefix, together with the Recovery describing what survived.
+// A fresh or empty directory yields an empty Recovery and a writer starting
+// at LSN 0.
+func Open(opts Options) (*Writer, *Recovery, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	rec, err := scan(opts.Dir, true, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	dir, err := os.Open(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &Writer{
+		opts:     opts,
+		dir:      dir,
+		lsn:      rec.LastLSN,
+		snapLSN:  rec.SnapshotLSN,
+		lastSync: time.Now(),
+		instr:    newWALInstruments(opts.Registry),
+	}
+	if rec.tailSegment != "" {
+		// Continue appending to the recovered tail segment.
+		f, err := os.OpenFile(rec.tailSegment, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			w.dir.Close()
+			return nil, nil, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			w.dir.Close()
+			return nil, nil, err
+		}
+		w.f = f
+		w.segStart = rec.tailFirstLSN
+		w.segSize = st.Size()
+	} else if err := w.rotate(); err != nil {
+		w.dir.Close()
+		return nil, nil, err
+	}
+	return w, rec, nil
+}
+
+// rotate closes the current segment (if any) and starts a fresh one whose
+// first record will be LSN lsn+1.
+func (w *Writer) rotate() error {
+	if w.f != nil {
+		if err := w.flushAndSync(); err != nil {
+			return err
+		}
+		if err := w.f.Close(); err != nil {
+			return err
+		}
+		if w.instr != nil {
+			w.instr.rotations.Inc()
+		}
+	}
+	first := w.lsn + 1
+	path := filepath.Join(w.opts.Dir, segName(first))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := append([]byte(segMagic), segVer)
+	hdr = binary.AppendVarint(hdr, first)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	// Make the new segment's directory entry durable so recovery after a
+	// crash sees a contiguous segment chain.
+	if err := w.syncDir(); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.segStart = first
+	w.segSize = int64(len(hdr))
+	return nil
+}
+
+func (w *Writer) syncDir() error {
+	if err := w.dir.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// beginRecord reserves the length prefix and type byte of a new frame at
+// the end of out and returns the frame's starting offset. The caller
+// appends the payload directly to out, then calls endRecord.
+func (w *Writer) beginRecord(typ byte) int {
+	start := len(w.out)
+	w.out = append(w.out, 0, 0, 0, 0, typ)
+	return start
+}
+
+// endRecord backfills the length prefix, appends the CRC (covering type
+// byte and payload), accounts the record, and drains the buffer to the
+// segment file once it passes flushThreshold.
+func (w *Writer) endRecord(start int) error {
+	binary.LittleEndian.PutUint32(w.out[start:], uint32(len(w.out)-start-5))
+	crc := crc32.Update(0, crcTable, w.out[start+4:])
+	w.out = binary.LittleEndian.AppendUint32(w.out, crc)
+	n := int64(len(w.out) - start)
+	w.lsn++
+	w.segSize += n
+	if w.instr != nil {
+		w.instr.bytes.Add(n)
+	}
+	if len(w.out) >= flushThreshold {
+		return w.flush()
+	}
+	return nil
+}
+
+// flush drains buffered frames to the segment file without fsyncing.
+func (w *Writer) flush() error {
+	if len(w.out) == 0 {
+		return nil
+	}
+	if _, err := w.f.Write(w.out); err != nil {
+		return err
+	}
+	w.out = w.out[:0]
+	return nil
+}
+
+// AppendEvent logs one applied runtime event. It buffers; durability comes
+// from the next round marker per the sync policy.
+func (w *Writer) AppendEvent(ev *wire.Event) error {
+	if w.closed {
+		return fmt.Errorf("wal: writer closed")
+	}
+	start := w.beginRecord(RecordEvent)
+	p, err := EncodeEvent(w.out, ev)
+	if err != nil {
+		w.out = w.out[:start]
+		return err
+	}
+	w.out = p
+	if err := w.endRecord(start); err != nil {
+		return err
+	}
+	if w.instr != nil {
+		w.instr.records.Inc()
+	}
+	return nil
+}
+
+// AppendRound logs a round marker — the commit record of the events since
+// the previous marker — applies the sync policy, and rotates the segment
+// once it exceeds SegmentBytes.
+func (w *Writer) AppendRound(m RoundMark) error {
+	if w.closed {
+		return fmt.Errorf("wal: writer closed")
+	}
+	start := w.beginRecord(RecordRound)
+	w.out = EncodeRoundMark(w.out, m)
+	if err := w.endRecord(start); err != nil {
+		return err
+	}
+	if w.instr != nil {
+		w.instr.marks.Inc()
+	}
+	switch w.opts.Sync {
+	case SyncAlways:
+		if err := w.flushAndSync(); err != nil {
+			return err
+		}
+	case SyncInterval:
+		if time.Since(w.lastSync) >= w.opts.SyncEvery {
+			if err := w.flushAndSync(); err != nil {
+				return err
+			}
+		}
+	case SyncNever:
+		if err := w.flush(); err != nil {
+			return err
+		}
+	}
+	if w.segSize >= w.opts.SegmentBytes {
+		return w.rotate()
+	}
+	return nil
+}
+
+func (w *Writer) flushAndSync() error {
+	if err := w.flush(); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.lastSync = time.Now()
+	if w.instr != nil {
+		w.instr.syncs.Inc()
+		w.instr.syncTime.ObserveDuration(w.lastSync.Sub(t0))
+	}
+	return nil
+}
+
+// Sync flushes and fsyncs the current segment regardless of policy.
+func (w *Writer) Sync() error {
+	if w.closed {
+		return fmt.Errorf("wal: writer closed")
+	}
+	return w.flushAndSync()
+}
+
+// LSN returns the log sequence number of the last appended record.
+func (w *Writer) LSN() int64 { return w.lsn }
+
+// WriteSnapshot makes a full-state snapshot durable: it syncs the log up
+// to the current LSN, writes the snapshot to a temp file, fsyncs and
+// renames it into place, then prunes snapshots beyond RetainSnapshots and
+// every segment wholly covered by the oldest retained snapshot. state is
+// the engine's opaque canonical encoding; round is recorded for reporting.
+func (w *Writer) WriteSnapshot(round int64, state []byte) error {
+	if w.closed {
+		return fmt.Errorf("wal: writer closed")
+	}
+	// The log must be durable up to the snapshot's LSN: replay starts
+	// *after* it, so everything before must survive a crash too.
+	if err := w.flushAndSync(); err != nil {
+		return err
+	}
+	lsn := w.lsn
+	body := append([]byte(snapMagic), snapVer)
+	body = binary.AppendVarint(body, lsn)
+	body = binary.AppendVarint(body, round)
+	body = binary.AppendUvarint(body, uint64(len(state)))
+	body = append(body, state...)
+	crc := crc32.Checksum(body[len(snapMagic):], crcTable)
+	body = binary.LittleEndian.AppendUint32(body, crc)
+
+	path := filepath.Join(w.opts.Dir, snapName(lsn))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+		return err
+	}
+	if err := syncFile(tmp); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if err := w.syncDir(); err != nil {
+		return err
+	}
+	w.snapLSN = lsn
+	if w.instr != nil {
+		w.instr.snapshots.Inc()
+		w.instr.snapBytes.SetInt(int64(len(state)))
+	}
+	return w.prune()
+}
+
+func syncFile(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// prune deletes snapshots beyond RetainSnapshots (newest kept) and every
+// segment whose records are all covered by the oldest retained snapshot.
+// The active segment is never deleted.
+func (w *Writer) prune() error {
+	snaps, segs, err := listFiles(w.opts.Dir)
+	if err != nil {
+		return err
+	}
+	if len(snaps) > w.opts.RetainSnapshots {
+		for _, s := range snaps[:len(snaps)-w.opts.RetainSnapshots] {
+			if err := os.Remove(s.path); err != nil {
+				return err
+			}
+		}
+		snaps = snaps[len(snaps)-w.opts.RetainSnapshots:]
+	}
+	if len(snaps) == 0 {
+		return nil
+	}
+	cover := snaps[0].lsn
+	// A segment is removable when the *next* segment starts at or below
+	// cover+1, i.e. every record in it has LSN <= cover.
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i].path == filepath.Join(w.opts.Dir, segName(w.segStart)) {
+			break
+		}
+		if segs[i+1].lsn <= cover+1 {
+			if err := os.Remove(segs[i].path); err != nil {
+				return err
+			}
+		} else {
+			break
+		}
+	}
+	return w.syncDir()
+}
+
+// Close flushes, fsyncs and closes the log.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var firstErr error
+	if w.f != nil {
+		if err := w.flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := w.f.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := w.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := w.dir.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -7,16 +7,19 @@ package wire
 
 // Event is one injected event on the wire. Kind selects which fields
 // matter (see engine.FromWire): Tokens is a convenience for
-// uniform-weight arrivals, Weight scales them.
+// uniform-weight arrivals, Weight scales them, and Weights carries an
+// explicit per-task weight list for heterogeneous arrivals (the lossless
+// form the write-ahead log uses to record applied arrivals).
 type Event struct {
-	Kind   string   `json:"kind"`
-	At     int64    `json:"at,omitempty"`
-	Node   int      `json:"node,omitempty"`
-	Tokens int      `json:"tokens,omitempty"`
-	Weight int64    `json:"weight,omitempty"`
-	Count  int      `json:"count,omitempty"`
-	Speed  int64    `json:"speed,omitempty"`
-	Peers  []int    `json:"peers,omitempty"`
-	Add    [][2]int `json:"add,omitempty"`
-	Remove [][2]int `json:"remove,omitempty"`
+	Kind    string   `json:"kind"`
+	At      int64    `json:"at,omitempty"`
+	Node    int      `json:"node,omitempty"`
+	Tokens  int      `json:"tokens,omitempty"`
+	Weight  int64    `json:"weight,omitempty"`
+	Weights []int64  `json:"weights,omitempty"`
+	Count   int      `json:"count,omitempty"`
+	Speed   int64    `json:"speed,omitempty"`
+	Peers   []int    `json:"peers,omitempty"`
+	Add     [][2]int `json:"add,omitempty"`
+	Remove  [][2]int `json:"remove,omitempty"`
 }
