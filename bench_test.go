@@ -539,6 +539,95 @@ func BenchmarkEngineChurn(b *testing.B) {
 	}
 }
 
+// quiescedEngineBench builds an exactly-uniform engine (equal speeds,
+// identical integer loads) so every edge flow is bitwise zero and the
+// activity gate puts the whole graph to sleep, then steps until the hot
+// set drains. Sampling is throttled on both the gated and ungated
+// variants so the O(n) metrics scan does not mask the round cost.
+func quiescedEngineBench(b *testing.B, rows, cols, sampleEvery int, gate discretelb.EngineGateMode) *discretelb.Engine {
+	b.Helper()
+	g, err := discretelb.NewTorus(rows, cols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tokens := make(discretelb.Vector, g.N())
+	for i := range tokens {
+		tokens[i] = 8
+	}
+	tasks, err := discretelb.NewTokens(tokens)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := discretelb.NewEngine(discretelb.EngineConfig{
+		Graph: g, Speeds: discretelb.UniformSpeeds(g.N()), Tasks: tasks,
+		Gate: gate, SampleEvery: sampleEvery,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(eng.Close)
+	for r := 0; r < 4; r++ {
+		if err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return eng
+}
+
+// stepQuiesced is one mostly-quiescent iteration: a load-neutral paired
+// arrival+completion at one node (≤1% of the graph hot) followed by a
+// balancing round. The perturbed neighbourhood cools again immediately,
+// so the hot fraction stays constant across iterations.
+func stepQuiesced(b *testing.B, eng *discretelb.Engine) {
+	at := eng.Round()
+	if err := eng.Schedule(discretelb.EngineArrival(at, 0, 4)); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Schedule(discretelb.EngineCompletion(at, 0, 4)); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Step(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEngineStepQuiesced is the activity-gate headline: a 10k-node
+// torus where only one node's neighbourhood is hot per round (4 edges of
+// 20k, 0.02%). The gated engine runs the round over the hot frontier
+// only; the acceptance target is ≥10× over the Ungated twin below, which
+// measures the identical workload with the full-scan round.
+func BenchmarkEngineStepQuiesced(b *testing.B) {
+	eng := quiescedEngineBench(b, 100, 100, 100, discretelb.EngineGateOn)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stepQuiesced(b, eng)
+	}
+}
+
+// BenchmarkEngineStepQuiescedUngated is the full-scan baseline for the
+// quiesced workload — same graph, same events, gate forced off.
+func BenchmarkEngineStepQuiescedUngated(b *testing.B) {
+	eng := quiescedEngineBench(b, 100, 100, 100, discretelb.EngineGateOff)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stepQuiesced(b, eng)
+	}
+}
+
+// BenchmarkEngineStepMillion is the first million-node in-process round:
+// a 1000×1000 torus (1M nodes, 2M edges), mostly quiesced, one hot
+// neighbourhood per round. Affordable only because the gate makes the
+// round cost O(|hot|) instead of O(n+m). Sampling is throttled harder
+// than the 10k benchmark — at this scale the O(n) discrepancy scan of a
+// single sample costs ~50 gated rounds.
+func BenchmarkEngineStepMillion(b *testing.B) {
+	eng := quiescedEngineBench(b, 1000, 1000, 1000, discretelb.EngineGateOn)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stepQuiesced(b, eng)
+	}
+}
+
 func BenchmarkRoundDownRound(b *testing.B) {
 	g, s, x0 := benchGraphAndLoad(b)
 	alpha, err := discretelb.DefaultAlphas(g, s)

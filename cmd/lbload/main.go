@@ -15,10 +15,11 @@
 //	       [-seed 1] [-report 5s] [-step auto] [-out lbload.json]
 //	       [-log-format text|json]
 //
-// Scenarios: steady, hotspot, burst, churn-storm, ci-smoke. With
-// -rate R the generator paces admission through a pulse-shaped token
-// bucket (R events/s at the crest); with -rate 0 it runs as fast as the
-// target accepts, which is how the throughput milestone is measured.
+// Scenarios: steady, hotspot, burst, churn-storm, quiescent, ci-smoke.
+// With -rate R the generator paces admission through a pulse-shaped
+// token bucket (R events/s at the crest); with -rate 0 it runs as fast
+// as the target accepts, which is how the throughput milestone is
+// measured.
 // A single generator goroutine owns the scenario, so the produced event
 // sequence is identical for a given (scenario, seed, params) no matter
 // how many clients deliver it.
@@ -215,6 +216,12 @@ type Result struct {
 	// GET /metrics/prom at the end of the run (best-effort; keyed by
 	// engine.StageNames()).
 	ServerStageSeconds map[string]float64 `json:"server_stage_seconds,omitempty"`
+	// Activity-gate footprint from the same scrape: the engine_hot_nodes /
+	// engine_hot_edges gauges, i.e. how much of the graph the last
+	// balancing round actually touched. -1 when the scrape lacked the
+	// families (pre-gate server).
+	ServerHotNodes int64 `json:"server_hot_nodes"`
+	ServerHotEdges int64 `json:"server_hot_edges"`
 	// Wall time the generator spent blocked in the pacing token bucket.
 	PacerWaitSeconds float64 `json:"pacer_wait_seconds"`
 }
@@ -458,8 +465,24 @@ func runLoad(ctx context.Context, cfg config, out io.Writer) (*Result, error) {
 		res.ServerMaxAvg = snap.MaxAvg
 		res.ServerFullAudits = snap.FullAudits
 	}
-	if sums, err := fetchStageSums(context.Background(), client, cfg.target); err == nil && len(sums) > 0 {
-		res.ServerStageSeconds = sums
+	res.ServerHotNodes, res.ServerHotEdges = -1, -1
+	if series, err := fetchProm(context.Background(), client, cfg.target); err == nil {
+		sums := make(map[string]float64)
+		for _, stage := range engine.StageNames() {
+			key := engine.MetricStepStageSeconds + `_sum{stage="` + stage + `"}`
+			if v, ok := series[key]; ok {
+				sums[stage] = v
+			}
+		}
+		if len(sums) > 0 {
+			res.ServerStageSeconds = sums
+		}
+		if v, ok := series["engine_hot_nodes"]; ok {
+			res.ServerHotNodes = int64(v)
+		}
+		if v, ok := series["engine_hot_edges"]; ok {
+			res.ServerHotEdges = int64(v)
+		}
 	}
 	if res.Iterations == 0 {
 		st.mu.Lock()
@@ -526,11 +549,11 @@ func fetchSnapshot(ctx context.Context, client *http.Client, target string) (*sn
 	return &snap, nil
 }
 
-// fetchStageSums scrapes the server's Prometheus exposition and pulls
-// out the cumulative per-stage step-time sums, one entry per engine
-// stage that has observations. Validating the whole exposition on the
-// way keeps lbload an end-to-end check of the /metrics/prom format.
-func fetchStageSums(ctx context.Context, client *http.Client, target string) (map[string]float64, error) {
+// fetchProm scrapes the server's Prometheus exposition into a series
+// map (per-stage step-time sums, hot-set gauges). Validating the whole
+// exposition on the way keeps lbload an end-to-end check of the
+// /metrics/prom format.
+func fetchProm(ctx context.Context, client *http.Client, target string) (map[string]float64, error) {
 	url := strings.TrimRight(target, "/") + "/metrics/prom"
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
@@ -552,14 +575,7 @@ func fetchStageSums(ctx context.Context, client *http.Client, target string) (ma
 	if err != nil {
 		return nil, fmt.Errorf("parse exposition: %w", err)
 	}
-	sums := make(map[string]float64)
-	for _, stage := range engine.StageNames() {
-		key := engine.MetricStepStageSeconds + `_sum{stage="` + stage + `"}`
-		if v, ok := series[key]; ok {
-			sums[stage] = v
-		}
-	}
-	return sums, nil
+	return series, nil
 }
 
 // cpuModel best-effort reads the CPU model for the result header.

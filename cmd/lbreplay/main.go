@@ -58,15 +58,20 @@ type summary struct {
 	Corruption       string `json:"tail_corruption,omitempty"`
 
 	// Replay results (absent with -scan-only).
-	Replayed     int     `json:"replayed_batches,omitempty"`
-	Round        int64   `json:"round,omitempty"`
-	RealTotal    int64   `json:"real_total,omitempty"`
-	Dummies      int64   `json:"dummies,omitempty"`
-	Wmax         int64   `json:"wmax,omitempty"`
-	MaxAvg       float64 `json:"max_avg,omitempty"`
-	Bound        float64 `json:"bound,omitempty"`
-	StateHash    string  `json:"state_hash,omitempty"`
-	DumpedEvents int     `json:"dumped_events,omitempty"`
+	Replayed  int     `json:"replayed_batches,omitempty"`
+	Round     int64   `json:"round,omitempty"`
+	RealTotal int64   `json:"real_total,omitempty"`
+	Dummies   int64   `json:"dummies,omitempty"`
+	Wmax      int64   `json:"wmax,omitempty"`
+	MaxAvg    float64 `json:"max_avg,omitempty"`
+	Bound     float64 `json:"bound,omitempty"`
+	// Hot-set occupancy of the last replayed round: how much of the graph
+	// the activity gate still had awake at the replay tail (0 = fully
+	// quiesced; omitted with -scan-only).
+	HotNodes     int    `json:"hot_nodes,omitempty"`
+	HotEdges     int    `json:"hot_edges,omitempty"`
+	StateHash    string `json:"state_hash,omitempty"`
+	DumpedEvents int    `json:"dumped_events,omitempty"`
 }
 
 func run() error {
@@ -155,6 +160,8 @@ func run() error {
 		out.Wmax = eng.Wmax()
 		out.MaxAvg = eng.MaxAvg()
 		out.Bound = eng.Bound()
+		out.HotNodes = eng.HotNodes()
+		out.HotEdges = eng.HotEdges()
 		out.StateHash = hex.EncodeToString(h[:])
 		if err := eng.AuditFull(); err != nil {
 			printSummary(out)

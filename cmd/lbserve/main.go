@@ -5,7 +5,7 @@
 // Usage:
 //
 //	lbserve -addr :8080 -graph torus:32 [-tokens 8] [-maxspeed 1]
-//	        [-workers 0] [-window 4096] [-rate 50] [-seed 1] [-audit]
+//	        [-workers 0] [-window 4096] [-rate 50] [-seed 1] [-audit] [-gate]
 //	        [-wal-dir DIR] [-snapshot-every 1024] [-wal-sync interval]
 //	        [-wal-sync-interval 100ms] [-wal-segment 67108864] [-wal-retain 2]
 //	        [-ingest-rate 0] [-ingest-burst 8192] [-ingest-pulse constant]
@@ -33,9 +33,15 @@
 //	POST /step[?rounds=N]        execute N balancing rounds
 //
 // With -rate R the daemon steps the engine R times per second on its own;
-// with -rate 0 rounds only advance through POST /step. With -audit the
-// engine runs the full conservation recount after every applied event
-// (deep audit) instead of the default O(1) incremental ledger check.
+// with -rate 0 rounds only advance through POST /step. When the event
+// queue is empty and the engine reports zero woken edges, the auto-step
+// loop idles — no lock-and-scan per tick, and the round counter holds —
+// until the next event wakes it; the idle/resume transitions are logged
+// once each. With -audit the engine runs the full conservation recount
+// after every applied event (deep audit) instead of the default O(1)
+// incremental ledger check. With -gate=false every round runs the
+// ungated full scan instead of the default hot-frontier gating (see the
+// README's "Activity gating" section).
 //
 // Durability: with -wal-dir the daemon appends every applied event and
 // round boundary to a write-ahead log and writes a full-state snapshot
@@ -106,6 +112,7 @@ func run() error {
 		sample    = flag.Int("sample", 1, "take a metrics sample every N rounds")
 		rate      = flag.Float64("rate", 0, "rounds per second to step automatically (0 = manual /step)")
 		audit     = flag.Bool("audit", false, "deep audit: full conservation recount after every applied event")
+		gateOn    = flag.Bool("gate", true, "activity gating: run rounds over the hot frontier only (false = full scan every round)")
 
 		walDir       = flag.String("wal-dir", "", "write-ahead log directory (empty = no durability); an existing log is recovered on boot")
 		snapEvery    = flag.Int("snapshot-every", 1024, "write a full-state snapshot every N rounds")
@@ -238,6 +245,9 @@ func run() error {
 		Registry:      reg,
 		SnapshotEvery: *snapEvery,
 	}
+	if !*gateOn {
+		cfg.Gate = engine.GateOff
+	}
 	if walWriter != nil {
 		cfg.WAL = walWriter
 	}
@@ -349,12 +359,38 @@ func run() error {
 			defer wg.Done()
 			ticker := time.NewTicker(interval)
 			defer ticker.Stop()
+			wasIdle := false
 			for {
 				select {
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					err := sv.Do(func(e *engine.Engine) error { return e.Step() })
+					// Idle skip: with nothing queued and no edge woken for the
+					// next round, Step would be a no-op scan — don't burn it.
+					// The check itself runs under the server mutex (the queue
+					// and gate state are only safe to read there), but it is
+					// two O(|hot|) counter reads, not a round. The round
+					// counter deliberately does not advance while idle.
+					idle, round := false, int64(0)
+					err := sv.Do(func(e *engine.Engine) error {
+						if e.PendingEvents() == 0 && e.PendingHotEdges() == 0 {
+							idle, round = true, e.Round()
+							return nil
+						}
+						return e.Step()
+					})
+					if idle != wasIdle {
+						// Log the transition once, not per tick.
+						if idle {
+							logger.Info("lbserve: auto-step idle", "round", round)
+						} else {
+							logger.Info("lbserve: auto-step resumed")
+						}
+						wasIdle = idle
+					}
+					if idle {
+						continue
+					}
 					switch {
 					case err == nil:
 					case errors.Is(err, engine.ErrInconsistent), errors.Is(err, engine.ErrWAL), errors.Is(err, engine.ErrClosed):
@@ -405,6 +441,7 @@ func run() error {
 	logger.Info("lbserve: listening",
 		"addr", *addr, "graph", *graphSpec, "nodes", nodes, "edges", edges,
 		"real_total", initialW, "seed", *seed, "rate", *rate, "audit", *audit,
+		"gate", *gateOn,
 		"workers", *workers, "window", *window, "sample", *sample,
 		"ingest_rate", *ingestRate, "trace", *traceWindow, "pprof", *pprofOn,
 		"wal_dir", *walDir)

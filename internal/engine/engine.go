@@ -57,6 +57,12 @@ type Config struct {
 	// SnapshotEvery writes a full-state snapshot to the WAL every that many
 	// rounds; 0 means 1024. Ignored without a WAL.
 	SnapshotEvery int
+	// Gate selects the activity-gate posture: GateOn (the zero value) runs
+	// balancing rounds over the hot frontier only, GateOff forces the full
+	// scan every round. Gating is semantics-preserving — a gated engine is
+	// bit-identical to an ungated one on every event stream — so this is a
+	// performance knob, exposed as lbserve -gate. See GateMode.
+	Gate GateMode
 }
 
 // outMsg is one round's batch on an edge: the receiving node slot and the
@@ -155,6 +161,11 @@ type Engine struct {
 	// later Step fails with it too — the "must not be stepped further"
 	// contract is enforced by the engine, not left to each driver.
 	poisoned error
+
+	// gate is the activity-gate state: the hot-frontier worklists that let
+	// runRound skip provably-asleep regions. Never serialized — every
+	// construction path reconstructs it conservatively (see initGate).
+	gate gate
 
 	// wal, when set (AttachWAL/Config.WAL), receives every applied event
 	// and round boundary before Step returns; walSnapEvery is the snapshot
@@ -260,6 +271,7 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	copy(e.alpha, alpha)
+	e.initGate(cfg.Gate == GateOn)
 	if cfg.WAL != nil {
 		if err := e.AttachWAL(cfg.WAL, cfg.SnapshotEvery); err != nil {
 			e.pool.close()
@@ -487,11 +499,12 @@ func (e *Engine) RunUntilBound(maxRounds int) (int, bool, error) {
 	return maxRounds, len(e.queue) == 0 && e.MaxAvg() <= e.Bound(), nil
 }
 
-// runRound executes one synchronous balancing round over the current
-// topology: continuous FOS flows and the residual-gap snapshot (serial,
-// O(m)), then sharded per-node send decisions and deliveries, then the
-// continuous load update.
-func (e *Engine) runRound() {
+// runRoundFull executes one synchronous balancing round over the whole
+// current topology: continuous FOS flows and the residual-gap snapshot
+// (serial, O(m)), then sharded per-node send decisions and deliveries,
+// then the continuous load update. It is the ungated path; runRound (in
+// gate.go) dispatches between it and the hot-frontier round.
+func (e *Engine) runRoundFull() {
 	tFlows := time.Now()
 	edgeSlots := e.topo.EdgeSlots()
 	// Phase 1: continuous flows, cumulative f^A, and the per-edge residual
@@ -653,6 +666,7 @@ func (e *Engine) applyArrival(ev Event) error {
 	e.addTasksLedgered(ev.Node, ev.Tasks)
 	e.x[ev.Node] += float64(w)
 	e.expectedReal += w
+	e.gateWakeNode(ev.Node)
 	return nil
 }
 
@@ -668,6 +682,7 @@ func (e *Engine) applyCompletion(ev Event) error {
 	w := -e.mutateLedgered(ev.Node, func(st *dist.SendState) { st.RemoveNewestReal(ev.Count) })
 	e.x[ev.Node] -= float64(w)
 	e.expectedReal -= w
+	e.gateWakeNode(ev.Node)
 	return nil
 }
 
@@ -826,7 +841,10 @@ func (e *Engine) applyEdgeChange(ev Event) error {
 
 // refreshAlphas recomputes the diffusion parameter of every edge incident
 // to the given nodes — the affected neighbourhood of a topology change
-// (α depends only on the endpoints' speeds and degrees).
+// (α depends only on the endpoints' speeds and degrees). Every refreshed
+// edge is woken: its flow inputs changed, and all topology-change paths
+// (join, leave redistribution, edge change) hand exactly the affected
+// neighbourhood here, so this is the gate's single churn wake point.
 func (e *Engine) refreshAlphas(nodes []int) {
 	for _, i := range nodes {
 		if !e.topo.Active(i) {
@@ -835,6 +853,7 @@ func (e *Engine) refreshAlphas(nodes []int) {
 		for _, a := range e.topo.Neighbors(i) {
 			u, v := e.topo.EdgeEndpoints(a.Edge)
 			e.alpha[a.Edge] = continuous.EdgeAlpha(e.s[u], e.s[v], e.topo.Degree(u), e.topo.Degree(v))
+			e.gateWakeEdge(a.Edge, u, v)
 		}
 	}
 }
@@ -845,6 +864,7 @@ func (e *Engine) growNode(slot int) {
 		e.s = append(e.s, 0)
 		e.x = append(e.x, 0)
 		e.st = append(e.st, nil)
+		e.growGateNode(slot)
 	}
 }
 
@@ -857,6 +877,7 @@ func (e *Engine) growEdge(id int) {
 		e.net = append(e.net, 0)
 		e.gap = append(e.gap, 0)
 		e.outbox = append(e.outbox, outMsg{})
+		e.growGateEdge(id)
 	}
 }
 
@@ -988,6 +1009,8 @@ func (e *Engine) sample(elapsed time.Duration) {
 		RealTotal: e.expectedReal,
 		Events:    e.eventsApplied,
 		StepNanos: elapsed.Nanoseconds(),
+		HotNodes:  e.HotNodes(),
+		HotEdges:  e.HotEdges(),
 	}
 	e.ring.append(s)
 	e.instr.publish(e, maxAvg, maxMin, potential)

@@ -29,6 +29,10 @@ type Sample struct {
 	// StepNanos is the wall-clock duration of the round, event application
 	// and metrics included.
 	StepNanos int64 `json:"step_nanos"`
+	// HotNodes and HotEdges are the activity-gate hot-set occupancy of the
+	// round (the full active counts when gating is off).
+	HotNodes int `json:"hot_nodes"`
+	HotEdges int `json:"hot_edges"`
 }
 
 // Ring is a fixed-capacity ring buffer of samples — the engine's streaming

@@ -10,7 +10,7 @@ import (
 const (
 	// MetricStepStageSeconds is the per-stage step-timing histogram family,
 	// labeled by stage: event_apply, ledger, round_flows, round_decide,
-	// round_deliver, round_update, sample.
+	// round_deliver, round_update, gate_maintain, sample.
 	MetricStepStageSeconds = "engine_step_stage_seconds"
 	// MetricStepSeconds times whole Step calls (events + round + sample).
 	MetricStepSeconds = "engine_step_seconds"
@@ -19,7 +19,7 @@ const (
 // StageNames lists the stage label values of MetricStepStageSeconds in
 // execution order.
 func StageNames() []string {
-	return []string{"event_apply", "ledger", "round_flows", "round_decide", "round_deliver", "round_update", "sample"}
+	return []string{"event_apply", "ledger", "round_flows", "round_decide", "round_deliver", "round_update", "gate_maintain", "sample"}
 }
 
 // instruments is the engine's handle bundle on its obs registry. All
@@ -49,6 +49,8 @@ type instruments struct {
 	maxMin     *obs.Gauge
 	bound      *obs.Gauge
 	potential  *obs.Gauge
+	hotNodes   *obs.Gauge
+	hotEdges   *obs.Gauge
 }
 
 func newInstruments(reg *obs.Registry) *instruments {
@@ -74,6 +76,10 @@ func newInstruments(reg *obs.Registry) *instruments {
 		maxMin:    reg.Gauge("engine_max_min", "Max-min discrepancy of the real load."),
 		bound:     reg.Gauge("engine_bound", "Theorem 3 discrepancy bound 2*d*wmax+2 for the current topology."),
 		potential: reg.Gauge("engine_potential", "Quadratic potential of the real load."),
+		hotNodes: reg.Gauge("engine_hot_nodes",
+			"Activity-gate hot-set node occupancy of the last executed round (all active nodes when gating is off)."),
+		hotEdges: reg.Gauge("engine_hot_edges",
+			"Activity-gate hot-set edge occupancy of the last executed round (all active edges when gating is off)."),
 	}
 	for _, stage := range StageNames() {
 		in.stage[stage] = reg.Histogram(MetricStepStageSeconds,
@@ -103,6 +109,8 @@ func (in *instruments) publish(e *Engine, maxAvg, maxMin, potential float64) {
 	in.maxMin.Set(maxMin)
 	in.bound.Set(e.Bound())
 	in.potential.Set(potential)
+	in.hotNodes.SetInt(int64(e.HotNodes()))
+	in.hotEdges.SetInt(int64(e.HotEdges()))
 	in.traceDropped.SetInt(e.flight.Dropped())
 }
 
@@ -125,13 +133,16 @@ type TraceRecord struct {
 	Count  int    `json:"count,omitempty"`
 	Weight int64  `json:"weight,omitempty"`
 
-	// Round-summary fields.
+	// Round-summary fields. HotNodes/HotEdges is the activity-gate hot-set
+	// occupancy of the round (the full active counts when gating is off).
 	Nodes     int     `json:"nodes,omitempty"`
 	Edges     int     `json:"edges,omitempty"`
 	Events    int64   `json:"events,omitempty"`
 	Pending   int     `json:"pending,omitempty"`
 	MaxAvg    float64 `json:"max_avg,omitempty"`
 	StepNanos int64   `json:"step_nanos,omitempty"`
+	HotNodes  int     `json:"hot_nodes,omitempty"`
+	HotEdges  int     `json:"hot_edges,omitempty"`
 }
 
 // recordEvent appends an applied event to the flight recorder.
@@ -163,6 +174,7 @@ func (e *Engine) recordRound(s Sample) {
 		Seq: e.traceSeq, Type: "round", Round: s.Round,
 		Nodes: s.Nodes, Edges: s.Edges, Events: s.Events,
 		Pending: len(e.queue), MaxAvg: s.MaxAvg, StepNanos: s.StepNanos,
+		HotNodes: s.HotNodes, HotEdges: s.HotEdges,
 	})
 }
 

@@ -57,10 +57,14 @@ func TestStepInstrumentation(t *testing.T) {
 	if got := m["engine_step_seconds_count"]; got != rounds {
 		t.Errorf("engine_step_seconds_count = %v, want %d", got, rounds)
 	}
-	for _, stage := range []string{"round_flows", "round_decide", "round_deliver", "round_update", "sample"} {
+	for _, stage := range []string{"round_flows", "round_decide", "round_deliver", "round_update", "gate_maintain", "sample"} {
+		want := float64(rounds)
+		if stage == "gate_maintain" && !e.GateEnabled() {
+			want = 0 // ENGINE_GATE=off leg: the full-scan round never observes it
+		}
 		key := MetricStepStageSeconds + `_count{stage="` + stage + `"}`
-		if got := m[key]; got != rounds {
-			t.Errorf("%s = %v, want %d", key, got, rounds)
+		if got := m[key]; got != want {
+			t.Errorf("%s = %v, want %v", key, got, want)
 		}
 	}
 	if got := m[MetricStepStageSeconds+`_count{stage="event_apply"}`]; got != 1 {

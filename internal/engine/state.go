@@ -385,6 +385,11 @@ func NewFromState(state []byte, cfg Config) (*Engine, error) {
 	}
 	e.fullAudits = 0 // the restore-time audit is not part of the run's history
 	e.pool = newWorkerPool(workers)
+	// Gate state is deliberately absent from the encoding: it is
+	// reconstructed, never trusted from disk. Waking the whole graph is the
+	// conservative reconstruction — over-waking is semantics-preserving, so
+	// the restored engine is bit-identical to the one that encoded.
+	e.initGate(cfg.Gate == GateOn)
 
 	if cfg.WAL != nil {
 		if err := e.AttachWAL(cfg.WAL, cfg.SnapshotEvery); err != nil {

@@ -30,8 +30,8 @@ type ScenarioParams struct {
 	// "hotspot" scenario (default 0.9).
 	HotFraction float64
 	// BurstEvery is the number of events between pulse bursts in the
-	// "burst" scenario (default 256); BurstFactor scales one burst to
-	// Tokens·BurstFactor tasks (default 32).
+	// "burst" and "quiescent" scenarios (default 256); BurstFactor
+	// scales one burst to Tokens·BurstFactor tasks (default 32).
 	BurstEvery, BurstFactor int
 	// ChurnEvery is the number of events between topology changes in the
 	// "churn-storm" scenario (default 64).
@@ -113,12 +113,15 @@ type ScenarioMaker func() Scenario
 //	hotspot      most arrivals concentrated on a small hot ingress set
 //	burst        steady traffic with a large arrival burst every BurstEvery events
 //	churn-storm  steady traffic interleaved with node joins and leaves
+//	quiescent    all traffic pinned to one focus node, re-picked with a small
+//	             burst every BurstEvery events — the rest of the graph sleeps
 //	ci-smoke     steady pinned to unit weights and 4-token batches (the CI scenario)
 var scenarioMakers = map[string]ScenarioMaker{
 	"steady":      func() Scenario { return &steadyScenario{} },
 	"hotspot":     func() Scenario { return &hotspotScenario{} },
 	"burst":       func() Scenario { return &burstScenario{} },
 	"churn-storm": func() Scenario { return &churnScenario{} },
+	"quiescent":   func() Scenario { return &quiescentScenario{} },
 	"ci-smoke":    func() Scenario { return &steadyScenario{fixedTokens: 4, fixedWmax: 1} },
 }
 
@@ -185,12 +188,17 @@ func (p *pairPump) wantCompletion() bool { return p.outstanding >= p.tokens }
 
 // completion retires up to Tokens outstanding tasks at a random node.
 func (p *pairPump) completion() wire.Event {
+	return p.completionAt(p.pick())
+}
+
+// completionAt retires up to Tokens outstanding tasks at the given node.
+func (p *pairPump) completionAt(node int) wire.Event {
 	n := p.tokens
 	if n > p.outstanding {
 		n = p.outstanding
 	}
 	p.outstanding -= n
-	return wire.Event{Kind: "completion", Node: p.pick(), Count: n}
+	return wire.Event{Kind: "completion", Node: node, Count: n}
 }
 
 // steadyScenario is balanced uniform traffic; fixed* pin params for the
@@ -282,6 +290,45 @@ func (s *burstScenario) Next() wire.Event {
 		return s.completion()
 	}
 	return s.arrivalAt(s.pick())
+}
+
+// quiescentScenario is the activity-gate workload: every event targets a
+// single focus node, so a gated engine keeps the rest of the graph
+// asleep and the hot frontier is one small ball. Every BurstEvery events
+// the focus moves to a fresh node with a Tokens·BurstFactor arrival
+// burst — a localized pulse the balancer spreads and re-quiesces —
+// and between pulses small arrival/completion pairs at the focus keep
+// the load flat without waking anything else. Against lbserve -rate
+// this produces long idle stretches (zero hot edges between ticks)
+// punctuated by short balancing flurries.
+type quiescentScenario struct {
+	pairPump
+	every, factor int
+	count         int
+	focus         int
+}
+
+func (s *quiescentScenario) Init(p ScenarioParams) error {
+	if err := p.normalize(); err != nil {
+		return err
+	}
+	s.init(p)
+	s.every = p.BurstEvery
+	s.factor = p.BurstFactor
+	s.focus = s.pick()
+	return nil
+}
+
+func (s *quiescentScenario) Next() wire.Event {
+	s.count++
+	if s.count%s.every == 0 {
+		s.focus = s.pick()
+		return s.arrivalSized(s.focus, s.tokens*s.factor)
+	}
+	if s.wantCompletion() {
+		return s.completionAt(s.focus)
+	}
+	return s.arrivalAt(s.focus)
 }
 
 // churnScenario interleaves steady traffic with topology churn: every

@@ -18,7 +18,7 @@ func TestScenarioRegistry(t *testing.T) {
 	if !sort.StringsAreSorted(names) {
 		t.Fatalf("ScenarioNames not sorted: %v", names)
 	}
-	for _, want := range []string{"steady", "hotspot", "burst", "churn-storm", "ci-smoke"} {
+	for _, want := range []string{"steady", "hotspot", "burst", "churn-storm", "quiescent", "ci-smoke"} {
 		found := false
 		for _, n := range names {
 			if n == want {
