@@ -1,0 +1,152 @@
+// Command lblint runs the determinism-invariant analyzer suite over this
+// repository.
+//
+// Usage:
+//
+//	lblint [flags] [packages]
+//
+//	lblint ./...                 check every package (the CI invocation)
+//	lblint -json ./...           machine-readable findings
+//	lblint -explain maporder     print the invariant a check protects
+//	lblint -explain list         list the analyzers
+//
+// Flags:
+//
+//	-json              emit findings as a JSON array instead of text
+//	-explain NAME      print the paper-level rationale for one analyzer
+//	                   ("list" enumerates them) and exit
+//	-allowlist FILE    hotalloc allocation allowlist (default lblint.allow.json)
+//	-noescape          skip the hotalloc escape-analysis gate (faster; used
+//	                   by tests that exercise only the syntactic analyzers)
+//	-C DIR             run as if started in DIR
+//
+// Exit status is 0 with no findings, 1 with findings, 2 on a usage or load
+// error. The suite is zero-dependency: packages load via `go list -json`
+// and type-check against toolchain export data, so go.mod stays clean.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func analyzers(ha *lint.HotAlloc) []lint.Analyzer {
+	return []lint.Analyzer{
+		lint.MapOrder{},
+		lint.NonDet{},
+		lint.NewLedgerFlow(lint.DefaultLedgerPolicy()),
+		ha,
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lblint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	explain := fs.String("explain", "", "print the rationale for one analyzer (\"list\" enumerates) and exit")
+	allowPath := fs.String("allowlist", "lblint.allow.json", "hotalloc allocation allowlist")
+	noEscape := fs.Bool("noescape", false, "skip the hotalloc escape-analysis gate")
+	dir := fs.String("C", "", "run as if started in this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	ha := &lint.HotAlloc{AllowPath: *allowPath}
+	all := analyzers(ha)
+
+	if *explain != "" {
+		return runExplain(*explain, all, stdout, stderr)
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	allow, err := lint.LoadAllowlist(joinDir(*dir, *allowPath))
+	if err != nil {
+		fmt.Fprintf(stderr, "lblint: %v\n", err)
+		return 2
+	}
+	ha.Allow = allow
+	if !*noEscape {
+		escDir := *dir
+		if escDir == "" {
+			escDir = "."
+		}
+		esc, err := lint.RunEscapeAnalysis(escDir, patterns...)
+		if err != nil {
+			fmt.Fprintf(stderr, "lblint: escape analysis: %v\n", err)
+			return 2
+		}
+		ha.Escapes = esc
+	}
+
+	loader := &lint.Loader{Dir: *dir}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "lblint: %v\n", err)
+		return 2
+	}
+
+	runner := &lint.Runner{Analyzers: all}
+	diags := runner.Run(pkgs)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "lblint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "lblint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// runExplain prints one analyzer's paper-level rationale, or the list.
+func runExplain(name string, all []lint.Analyzer, stdout, stderr io.Writer) int {
+	if name == "list" {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+	for _, a := range all {
+		if a.Name() == name {
+			fmt.Fprintf(stdout, "%s — %s\n\n%s\n", a.Name(), a.Doc(), a.Explain())
+			return 0
+		}
+	}
+	fmt.Fprintf(stderr, "lblint: unknown analyzer %q; use -explain list\n", name)
+	return 2
+}
+
+// joinDir resolves path against the -C directory when path is relative.
+func joinDir(dir, path string) string {
+	if dir == "" || len(path) > 0 && os.IsPathSeparator(path[0]) {
+		return path
+	}
+	return dir + string(os.PathSeparator) + path
+}

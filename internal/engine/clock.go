@@ -1,0 +1,22 @@
+package engine
+
+import "time"
+
+// nowMetric and sinceMetric are the engine's only ambient wall-clock reads.
+// Every stage/step timing observation flows through this chokepoint, so
+// lblint's nondet check can verify at a glance that the wall clock never
+// feeds balancing state: the values below are consumed exclusively by
+// ObserveDuration histograms and the rate sampler, all of which sit outside
+// the replayed, hash-checked state. Code that needs time for a decision
+// must not call these — it must take an injected clock so replay can
+// substitute it.
+
+// nowMetric returns the wall clock for stage-timing observations.
+//
+//lb:statefree metrics-only wall clock: feeds duration histograms and the rate sampler, never balancing state
+func nowMetric() time.Time { return time.Now() }
+
+// sinceMetric returns the elapsed wall time for stage-timing observations.
+//
+//lb:statefree metrics-only wall clock: feeds duration histograms and the rate sampler, never balancing state
+func sinceMetric(t0 time.Time) time.Duration { return time.Since(t0) }

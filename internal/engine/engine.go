@@ -175,6 +175,17 @@ type Engine struct {
 	// walScratch stages the wire form of the event being logged so the
 	// sink call does not force a heap allocation per event (see logEvent).
 	walScratch wire.Event
+
+	// Cached per-phase shard callbacks: bound once in initGate so the
+	// round phases hand pool.forEach a preallocated func value instead of
+	// allocating a closure every round (enforced by lblint's hotalloc
+	// gate). roundWmaxF is the decide threshold of the round in flight,
+	// published before the decide phase fans out.
+	roundWmaxF     float64
+	decideFullFn   func(int)
+	deliverFullFn  func(int)
+	decideGatedFn  func(int)
+	deliverGatedFn func(int)
 }
 
 // ErrClosed is returned by operations on a closed engine.
@@ -212,7 +223,10 @@ func New(cfg Config) (*Engine, error) {
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		// Worker-count default. Round phases are sharded race-free (single
+		// writer per slot, forEach barriers), so results are bit-identical
+		// for any worker count — parallelism is a throughput knob only.
+		workers = runtime.GOMAXPROCS(0) //lb:statefree worker-count default; sharded phases are bit-identical for any worker count
 	}
 	window := cfg.MetricsWindow
 	if window <= 0 {
@@ -394,7 +408,7 @@ func (e *Engine) Step() error {
 	if e.poisoned != nil {
 		return e.poisoned
 	}
-	start := time.Now()
+	start := nowMetric()
 	applied := 0
 	var stepErr error
 	for len(e.queue) > 0 && e.queue[0].ev.At <= e.round {
@@ -426,14 +440,14 @@ func (e *Engine) Step() error {
 		}
 	}
 	if applied > 0 {
-		e.instr.stage["event_apply"].ObserveDuration(time.Since(start))
+		e.instr.stage["event_apply"].ObserveDuration(sinceMetric(start))
 	}
 	if applied > 0 && !errors.Is(stepErr, ErrInconsistent) {
 		// Validate even when a rejection stopped the batch early: the
 		// applied prefix stays applied, so it must be ledger-checked now —
 		// deferring to the next batch would let a violation hide behind a
 		// "fully usable" rejection error and then be misattributed.
-		tLedger := time.Now()
+		tLedger := nowMetric()
 		if err := e.checkLedger(); err != nil {
 			ledErr := fmt.Errorf("engine: round %d after %d-event batch: %w: %w", e.round, applied, ErrInconsistent, err)
 			if stepErr != nil {
@@ -441,14 +455,14 @@ func (e *Engine) Step() error {
 			}
 			stepErr = ledErr
 		}
-		e.instr.stage["ledger"].ObserveDuration(time.Since(tLedger))
+		e.instr.stage["ledger"].ObserveDuration(sinceMetric(tLedger))
 	}
 	if stepErr != nil {
 		if errors.Is(stepErr, ErrInconsistent) || errors.Is(stepErr, ErrWAL) {
 			e.poisoned = stepErr
 		}
-		e.sample(time.Since(start))
-		e.instr.stepSeconds.ObserveDuration(time.Since(start))
+		e.sample(sinceMetric(start))
+		e.instr.stepSeconds.ObserveDuration(sinceMetric(start))
 		return stepErr
 	}
 	e.runRound()
@@ -459,17 +473,17 @@ func (e *Engine) Step() error {
 		// round beyond the fsync policy's window.
 		if err := e.walCommit(); err != nil {
 			e.poisoned = err
-			e.sample(time.Since(start))
-			e.instr.stepSeconds.ObserveDuration(time.Since(start))
+			e.sample(sinceMetric(start))
+			e.instr.stepSeconds.ObserveDuration(sinceMetric(start))
 			return err
 		}
 	}
 	if e.round%int64(e.sampleEvery) == 0 {
-		tSample := time.Now()
-		e.sample(time.Since(start))
-		e.instr.stage["sample"].ObserveDuration(time.Since(tSample))
+		tSample := nowMetric()
+		e.sample(sinceMetric(start))
+		e.instr.stage["sample"].ObserveDuration(sinceMetric(tSample))
 	}
-	e.instr.stepSeconds.ObserveDuration(time.Since(start))
+	e.instr.stepSeconds.ObserveDuration(sinceMetric(start))
 	return nil
 }
 
@@ -504,8 +518,10 @@ func (e *Engine) RunUntilBound(maxRounds int) (int, bool, error) {
 // (serial, O(m)), then sharded per-node send decisions and deliveries,
 // then the continuous load update. It is the ungated path; runRound (in
 // gate.go) dispatches between it and the hot-frontier round.
+//
+//lb:hotpath
 func (e *Engine) runRoundFull() {
-	tFlows := time.Now()
+	tFlows := nowMetric()
 	edgeSlots := e.topo.EdgeSlots()
 	// Phase 1: continuous flows, cumulative f^A, and the per-edge residual
 	// snapshot. The snapshot is what makes the decide phase race-free:
@@ -528,37 +544,10 @@ func (e *Engine) runRoundFull() {
 	// Phase 2: per-node send decisions, sharded over the worker pool. Each
 	// node touches only its own pool, the f^D of edges it sends on (single
 	// writer), and its own outbox slots.
-	tDecide := time.Now()
+	tDecide := nowMetric()
 	nodeSlots := e.topo.NodeSlots()
-	wmaxF := float64(e.wmax) - core.RoundingEps
-	e.pool.forEach(nodeSlots, func(i int) {
-		if !e.topo.Active(i) {
-			return
-		}
-		st := e.st[i]
-		st.BeginRound()
-		dummies0 := st.Dummies()
-		for _, a := range e.topo.Neighbors(i) {
-			g := e.gap[a.Edge]
-			if a.Out < 0 {
-				g = -g
-			}
-			if g < wmaxF {
-				continue
-			}
-			var batch []load.Task
-			sent := core.Forward(g, e.wmax, st.Take, func(q load.Task) { batch = append(batch, q) })
-			e.fD[a.Edge] += int64(a.Out) * sent
-			e.outbox[a.Edge] = outMsg{to: a.To, tasks: batch}
-		}
-		// Dummy draws are the only way a round changes total pool weight
-		// (task forwards conserve it: every batch written here is consumed
-		// by exactly its receiver in the delivery phase). Nodes that drew
-		// none — the steady path — pay nothing.
-		if d := st.Dummies() - dummies0; d != 0 {
-			e.roundDummies.Add(d)
-		}
-	})
+	e.roundWmaxF = float64(e.wmax) - core.RoundingEps
+	e.pool.forEach(nodeSlots, e.decideFullFn)
 	// Fold this round's dummy draws into the ledger (serial: forEach is a
 	// completion barrier).
 	if d := e.roundDummies.Swap(0); d != 0 {
@@ -569,20 +558,10 @@ func (e *Engine) runRoundFull() {
 	// this phase (slots are reset at the start of the next round), so both
 	// endpoints may inspect an edge's slot concurrently; only the receiver
 	// appends, and only to its own pool.
-	tDeliver := time.Now()
-	e.pool.forEach(nodeSlots, func(i int) {
-		if !e.topo.Active(i) {
-			return
-		}
-		for _, a := range e.topo.Neighbors(i) {
-			m := &e.outbox[a.Edge]
-			if m.tasks != nil && m.to == i {
-				e.st[i].AddTasks(m.tasks)
-			}
-		}
-	})
+	tDeliver := nowMetric()
+	e.pool.forEach(nodeSlots, e.deliverFullFn)
 	// Phase 4: advance the continuous replica.
-	tUpdate := time.Now()
+	tUpdate := nowMetric()
 	for id := 0; id < edgeSlots; id++ {
 		if n := e.net[id]; n != 0 {
 			u, v := e.topo.EdgeEndpoints(id)
@@ -591,12 +570,63 @@ func (e *Engine) runRoundFull() {
 		}
 	}
 	e.round++
-	now := time.Now()
+	now := nowMetric()
 	e.instr.stage["round_flows"].ObserveDuration(tDecide.Sub(tFlows))
 	e.instr.stage["round_decide"].ObserveDuration(tDeliver.Sub(tDecide))
 	e.instr.stage["round_deliver"].ObserveDuration(tUpdate.Sub(tDeliver))
 	e.instr.stage["round_update"].ObserveDuration(now.Sub(tUpdate))
 	e.instr.roundsTotal.Inc()
+}
+
+// decideFullNode is runRoundFull's phase-2 body for one node slot: node
+// i's send decisions against this round's residual snapshot. Bound once
+// as e.decideFullFn (initGate) so the fan-out allocates no closure per
+// round.
+//
+//lb:hotpath
+func (e *Engine) decideFullNode(i int) {
+	if !e.topo.Active(i) {
+		return
+	}
+	st := e.st[i]
+	st.BeginRound()
+	dummies0 := st.Dummies()
+	for _, a := range e.topo.Neighbors(i) {
+		g := e.gap[a.Edge]
+		if a.Out < 0 {
+			g = -g
+		}
+		if g < e.roundWmaxF {
+			continue
+		}
+		var batch []load.Task
+		sent := core.Forward(g, e.wmax, st.Take, func(q load.Task) { batch = append(batch, q) })
+		e.fD[a.Edge] += int64(a.Out) * sent
+		e.outbox[a.Edge] = outMsg{to: a.To, tasks: batch}
+	}
+	// Dummy draws are the only way a round changes total pool weight
+	// (task forwards conserve it: every batch written here is consumed by
+	// exactly its receiver in the delivery phase). Nodes that drew none —
+	// the steady path — pay nothing.
+	if d := st.Dummies() - dummies0; d != 0 {
+		e.roundDummies.Add(d)
+	}
+}
+
+// deliverFullNode is runRoundFull's phase-3 body for one node slot:
+// consume the batches addressed to node i. Bound once as e.deliverFullFn.
+//
+//lb:hotpath
+func (e *Engine) deliverFullNode(i int) {
+	if !e.topo.Active(i) {
+		return
+	}
+	for _, a := range e.topo.Neighbors(i) {
+		m := &e.outbox[a.Edge]
+		if m.tasks != nil && m.to == i {
+			e.st[i].AddTasks(m.tasks)
+		}
+	}
 }
 
 // applyEvent dispatches one event. A returned error means the event was

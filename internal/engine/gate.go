@@ -3,7 +3,6 @@ package engine
 import (
 	"math"
 	"math/bits"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/load"
@@ -104,12 +103,14 @@ func newHotSet(n int) hotSet {
 	return hotSet{l1: make([]uint64, w), l2: make([]uint64, (w+63)/64), n: n}
 }
 
+//lb:hotpath
 func (h *hotSet) set(i int) {
 	w := i >> 6
 	h.l1[w] |= 1 << (uint(i) & 63)
 	h.l2[w>>6] |= 1 << (uint(w) & 63)
 }
 
+//lb:hotpath
 func (h *hotSet) has(i int) bool { return h.l1[i>>6]&(1<<(uint(i)&63)) != 0 }
 
 // grow extends the valid slot range to n (append-only, zero-filled).
@@ -126,6 +127,8 @@ func (h *hotSet) grow(n int) {
 }
 
 // clear empties the set in O(|hot| + len(l2)) words.
+//
+//lb:hotpath
 func (h *hotSet) clear() {
 	for w2i, w2 := range h.l2 {
 		for w2 != 0 {
@@ -138,6 +141,8 @@ func (h *hotSet) clear() {
 }
 
 // count returns the number of members in O(|hot| + len(l2)) words.
+//
+//lb:hotpath
 func (h *hotSet) count() int {
 	n := 0
 	for w2i, w2 := range h.l2 {
@@ -151,6 +156,8 @@ func (h *hotSet) count() int {
 }
 
 // fill sets every one of the n valid slots, masking the tail words.
+//
+//lb:hotpath
 func (h *hotSet) fill() {
 	for i := range h.l1 {
 		h.l1[i] = ^uint64(0)
@@ -167,6 +174,8 @@ func (h *hotSet) fill() {
 }
 
 // forEach calls fn for every member in ascending slot order.
+//
+//lb:hotpath
 func (h *hotSet) forEach(fn func(i int)) {
 	for w2i, w2 := range h.l2 {
 		for w2 != 0 {
@@ -216,6 +225,13 @@ type gate struct {
 // gating is enabled, wakes the whole graph — the conservative
 // reconstruction every entry path (New, NewFromState, WithGate) uses.
 func (e *Engine) initGate(on bool) {
+	// Bind the per-phase shard callbacks once; the round phases reuse
+	// these func values so the hot path allocates no closures (enforced by
+	// lblint's hotalloc gate).
+	e.decideFullFn = e.decideFullNode
+	e.deliverFullFn = e.deliverFullNode
+	e.decideGatedFn = e.decideGatedNode
+	e.deliverGatedFn = e.deliverGatedNode
 	g := &e.gate
 	ns, es := e.topo.NodeSlots(), e.topo.EdgeSlots()
 	g.edgeCur, g.edgePending = newHotSet(es), newHotSet(es)
@@ -238,6 +254,8 @@ func (e *Engine) gateWakeAll() {
 // gateWakeNode wakes node i's whole neighbourhood: the node itself, every
 // incident edge, and each edge's far endpoint (hot edges need both
 // endpoints in the node worklist — invariant 3).
+//
+//lb:hotpath
 func (e *Engine) gateWakeNode(i int) {
 	g := &e.gate
 	if !g.on {
@@ -251,6 +269,8 @@ func (e *Engine) gateWakeNode(i int) {
 }
 
 // gateWakeEdge wakes one edge and both its endpoints.
+//
+//lb:hotpath
 func (e *Engine) gateWakeEdge(id, u, v int) {
 	g := &e.gate
 	if !g.on {
@@ -349,11 +369,11 @@ func (e *Engine) runRound() {
 			return
 		}
 		e.runRoundFull()
-		tMaint := time.Now()
+		tMaint := nowMetric()
 		e.gateWakeAll()
 		g.hotEdges = e.topo.NumEdges()
 		g.hotNodes = e.topo.NumNodes()
-		e.instr.stage["gate_maintain"].ObserveDuration(time.Since(tMaint))
+		e.instr.stage["gate_maintain"].ObserveDuration(sinceMetric(tMaint))
 		return
 	}
 	g.fullStreak = 0
@@ -369,10 +389,12 @@ func (e *Engine) runRound() {
 // sweeps with no bitmap iteration. The blanket pending wakes left by the
 // fallback rounds before it are discarded and replaced by the exact wake
 // set the maintenance rule computes.
+//
+//lb:hotpath
 func (e *Engine) runRoundFullProbe() {
 	g := &e.gate
 
-	tSnap := time.Now()
+	tSnap := nowMetric()
 	g.edgePending.clear()
 	g.nodePending.clear()
 	edgeSlots := e.topo.EdgeSlots()
@@ -382,11 +404,11 @@ func (e *Engine) runRoundFullProbe() {
 	copy(g.x0, e.x)
 	g.hotEdges = e.topo.NumEdges()
 	g.hotNodes = e.topo.NumNodes()
-	snapDur := time.Since(tSnap)
+	snapDur := sinceMetric(tSnap)
 
 	e.runRoundFull()
 
-	tMaint := time.Now()
+	tMaint := nowMetric()
 	for id := 0; id < edgeSlots; id++ {
 		u, v := e.topo.EdgeEndpoints(id)
 		if u < 0 {
@@ -407,7 +429,7 @@ func (e *Engine) runRoundFullProbe() {
 			e.gateWakeNode(i)
 		}
 	}
-	e.instr.stage["gate_maintain"].ObserveDuration(snapDur + time.Since(tMaint))
+	e.instr.stage["gate_maintain"].ObserveDuration(snapDur + sinceMetric(tMaint))
 }
 
 // runRoundGated is the hot-frontier round: the same four phases as
@@ -416,11 +438,13 @@ func (e *Engine) runRoundFullProbe() {
 // makes the serial edge phases iterate in ascending slot order, so every
 // float accumulation happens in exactly the ungated sequence and the
 // result is bit-identical.
+//
+//lb:hotpath
 func (e *Engine) runRoundGated(hotEdges int) {
 	g := &e.gate
 
 	// Swap in the pending wakes and rebuild the compact node worklist.
-	tSwap := time.Now()
+	tSwap := nowMetric()
 	g.edgeCur, g.edgePending = g.edgePending, g.edgeCur
 	g.nodeCur, g.nodePending = g.nodePending, g.nodeCur
 	g.edgePending.clear()
@@ -429,12 +453,12 @@ func (e *Engine) runRoundGated(hotEdges int) {
 	g.nodeCur.forEach(func(i int) { g.curNodes = append(g.curNodes, int32(i)) })
 	g.hotEdges = hotEdges
 	g.hotNodes = len(g.curNodes)
-	swapDur := time.Since(tSwap)
+	swapDur := sinceMetric(tSwap)
 
 	// Phase 1: continuous flows, cumulative f^A and the residual-gap
 	// snapshot over the hot edges (serial, ascending slot order). The
 	// pre-round f^A bits are captured for maintenance.
-	tFlows := time.Now()
+	tFlows := nowMetric()
 	g.edgeCur.forEach(func(id int) {
 		e.outbox[id].tasks = nil
 		g.fA0[id] = math.Float64bits(e.fA[id])
@@ -458,44 +482,9 @@ func (e *Engine) runRoundGated(hotEdges int) {
 	// never Take, so the deferred reset is unobservable. Each hot node
 	// also snapshots its own x for maintenance — phase 4 only moves x at
 	// endpoints of hot edges, all of which are in the worklist.
-	tDecide := time.Now()
-	wmaxF := float64(e.wmax) - core.RoundingEps
-	e.pool.forEach(len(g.curNodes), func(k int) {
-		i := int(g.curNodes[k])
-		if !e.topo.Active(i) {
-			return
-		}
-		g.x0[i] = e.x[i]
-		st := e.st[i]
-		began := false
-		var dummies0 int64
-		for _, a := range e.topo.Neighbors(i) {
-			if !g.edgeCur.has(a.Edge) {
-				continue
-			}
-			if !began {
-				st.BeginRound()
-				dummies0 = st.Dummies()
-				began = true
-			}
-			gp := e.gap[a.Edge]
-			if a.Out < 0 {
-				gp = -gp
-			}
-			if gp < wmaxF {
-				continue
-			}
-			var batch []load.Task
-			sent := core.Forward(gp, e.wmax, st.Take, func(q load.Task) { batch = append(batch, q) })
-			e.fD[a.Edge] += int64(a.Out) * sent
-			e.outbox[a.Edge] = outMsg{to: a.To, tasks: batch}
-		}
-		if began {
-			if d := st.Dummies() - dummies0; d != 0 {
-				e.roundDummies.Add(d)
-			}
-		}
-	})
+	tDecide := nowMetric()
+	e.roundWmaxF = float64(e.wmax) - core.RoundingEps
+	e.pool.forEach(len(g.curNodes), e.decideGatedFn)
 	if d := e.roundDummies.Swap(0); d != 0 {
 		e.ledTotal += d
 		e.ledCreated += d
@@ -504,27 +493,13 @@ func (e *Engine) runRoundGated(hotEdges int) {
 	// Phase 3: deliveries over the hot nodes. Arcs are filtered to hot
 	// edges because only hot outbox slots were reset this round — a cold
 	// edge may hold a stale batch from the round it last sent on.
-	tDeliver := time.Now()
-	e.pool.forEach(len(g.curNodes), func(k int) {
-		i := int(g.curNodes[k])
-		if !e.topo.Active(i) {
-			return
-		}
-		for _, a := range e.topo.Neighbors(i) {
-			if !g.edgeCur.has(a.Edge) {
-				continue
-			}
-			m := &e.outbox[a.Edge]
-			if m.tasks != nil && m.to == i {
-				e.st[i].AddTasks(m.tasks)
-			}
-		}
-	})
+	tDeliver := nowMetric()
+	e.pool.forEach(len(g.curNodes), e.deliverGatedFn)
 
 	// Phase 4: advance the continuous replica over the hot edges, in the
 	// same ascending slot order as the full scan (x updates are float
 	// additions; order is part of the bit-identity contract).
-	tUpdate := time.Now()
+	tUpdate := nowMetric()
 	g.edgeCur.forEach(func(id int) {
 		if n := e.net[id]; n != 0 {
 			u, v := e.topo.EdgeEndpoints(id)
@@ -536,7 +511,7 @@ func (e *Engine) runRoundGated(hotEdges int) {
 	// Gate maintenance: decide who stays hot. An edge that sent or whose
 	// f^A bits moved re-wakes itself; a node whose x bits moved re-wakes
 	// its whole neighbourhood. Everything else goes cold.
-	tMaint := time.Now()
+	tMaint := nowMetric()
 	g.edgeCur.forEach(func(id int) {
 		u, v := e.topo.EdgeEndpoints(id)
 		if u < 0 {
@@ -559,11 +534,84 @@ func (e *Engine) runRoundGated(hotEdges int) {
 	}
 
 	e.round++
-	now := time.Now()
+	now := nowMetric()
 	e.instr.stage["round_flows"].ObserveDuration(tDecide.Sub(tFlows))
 	e.instr.stage["round_decide"].ObserveDuration(tDeliver.Sub(tDecide))
 	e.instr.stage["round_deliver"].ObserveDuration(tUpdate.Sub(tDeliver))
 	e.instr.stage["round_update"].ObserveDuration(tMaint.Sub(tUpdate))
 	e.instr.stage["gate_maintain"].ObserveDuration(swapDur + now.Sub(tMaint))
 	e.instr.roundsTotal.Inc()
+}
+
+// decideGatedNode is runRoundGated's phase-2 body for one hot-worklist
+// index: node i's send decisions with arcs filtered to hot edges (a cold
+// edge's residual is provably sub-threshold — invariant 1 — so skipping
+// it is the decision the full scan would make). BeginRound runs lazily
+// before the node's first hot arc; cold arcs never Take, so the deferred
+// reset is unobservable. The node also snapshots its own x for
+// maintenance — phase 4 only moves x at endpoints of hot edges, all in
+// the worklist. Bound once as e.decideGatedFn (initGate) so the fan-out
+// allocates no closure per round.
+//
+//lb:hotpath
+func (e *Engine) decideGatedNode(k int) {
+	g := &e.gate
+	i := int(g.curNodes[k])
+	if !e.topo.Active(i) {
+		return
+	}
+	g.x0[i] = e.x[i]
+	st := e.st[i]
+	began := false
+	var dummies0 int64
+	for _, a := range e.topo.Neighbors(i) {
+		if !g.edgeCur.has(a.Edge) {
+			continue
+		}
+		if !began {
+			st.BeginRound()
+			dummies0 = st.Dummies()
+			began = true
+		}
+		gp := e.gap[a.Edge]
+		if a.Out < 0 {
+			gp = -gp
+		}
+		if gp < e.roundWmaxF {
+			continue
+		}
+		var batch []load.Task
+		sent := core.Forward(gp, e.wmax, st.Take, func(q load.Task) { batch = append(batch, q) })
+		e.fD[a.Edge] += int64(a.Out) * sent
+		e.outbox[a.Edge] = outMsg{to: a.To, tasks: batch}
+	}
+	if began {
+		if d := st.Dummies() - dummies0; d != 0 {
+			e.roundDummies.Add(d)
+		}
+	}
+}
+
+// deliverGatedNode is runRoundGated's phase-3 body for one hot-worklist
+// index: consume the batches addressed to node i, arcs filtered to hot
+// edges because only hot outbox slots were reset this round — a cold edge
+// may hold a stale batch from the round it last sent on. Bound once as
+// e.deliverGatedFn.
+//
+//lb:hotpath
+func (e *Engine) deliverGatedNode(k int) {
+	g := &e.gate
+	i := int(g.curNodes[k])
+	if !e.topo.Active(i) {
+		return
+	}
+	for _, a := range e.topo.Neighbors(i) {
+		if !g.edgeCur.has(a.Edge) {
+			continue
+		}
+		m := &e.outbox[a.Edge]
+		if m.tasks != nil && m.to == i {
+			e.st[i].AddTasks(m.tasks)
+		}
+	}
 }

@@ -28,7 +28,10 @@ var ErrWAL = errors.New("engine: write-ahead log failure")
 // per applied event, one AppendRound per completed balancing round (the
 // batch commit record), and WriteSnapshot for periodic full-state
 // checkpoints. *wal.Writer implements it; tests substitute failing or
-// recording sinks.
+// recording sinks. The event passed to AppendEvent is borrowed: the engine
+// reuses one scratch value (slices included) across events, so a sink must
+// finish encoding before returning and never retain the pointer or its
+// Weights slice.
 type WALSink interface {
 	AppendEvent(ev *wire.Event) error
 	AppendRound(m wal.RoundMark) error
@@ -277,7 +280,7 @@ func NewFromState(state []byte, cfg Config) (*Engine, error) {
 
 	workers := cfg.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = runtime.GOMAXPROCS(0) //lb:statefree worker-count default; restored engine is bit-identical for any worker count
 	}
 	window := cfg.MetricsWindow
 	if window <= 0 {
@@ -534,6 +537,8 @@ func (e *Engine) SnapshotNow() error {
 // can no longer be guaranteed to agree. The wire form is staged in a
 // scratch field so the hot path (thousands of logged events per round)
 // does not heap-allocate per event.
+//
+//lb:hotpath
 func (e *Engine) logEvent(ev Event) error {
 	if err := toWireInto(ev, &e.walScratch); err != nil {
 		return fmt.Errorf("%w: %v", ErrWAL, err)
@@ -547,6 +552,8 @@ func (e *Engine) logEvent(ev Event) error {
 // walCommit appends the round marker committing this step's batch and, on
 // the snapshot cadence, a full-state snapshot (called from Step right
 // after runRound).
+//
+//lb:hotpath
 func (e *Engine) walCommit() error {
 	m := wal.RoundMark{
 		Round:   e.round,
@@ -577,9 +584,19 @@ func ToWire(ev Event) (wire.Event, error) {
 	return w, nil
 }
 
+// errDummyArrival is hoisted so toWireInto's validation path allocates
+// nothing when it fires inside the per-event hot path.
+var errDummyArrival = errors.New("engine: dummy task in arrival")
+
 // toWireInto fills w in place so hot callers (logEvent runs per applied
 // event) can reuse one scratch value instead of copying the struct twice.
+//
+//lb:hotpath
 func toWireInto(ev Event, w *wire.Event) error {
+	// Keep the scratch value's Weights capacity across resets: logEvent
+	// reuses one wire.Event per applied event, so heterogeneous arrivals
+	// amortize to zero allocations once the buffer has grown.
+	weights := w.Weights[:0]
 	*w = wire.Event{Kind: ev.Kind.String(), At: ev.At}
 	switch ev.Kind {
 	case KindTaskArrival:
@@ -591,7 +608,7 @@ func toWireInto(ev Event, w *wire.Event) error {
 		uniform := true
 		for _, q := range ev.Tasks {
 			if q.Dummy {
-				return errors.New("engine: dummy task in arrival")
+				return errDummyArrival
 			}
 			if q.Weight != ev.Tasks[0].Weight {
 				uniform = false
@@ -600,10 +617,10 @@ func toWireInto(ev Event, w *wire.Event) error {
 		if uniform {
 			w.Weight = ev.Tasks[0].Weight
 		} else {
-			w.Weights = make([]int64, len(ev.Tasks))
-			for i, q := range ev.Tasks {
-				w.Weights[i] = q.Weight
+			for _, q := range ev.Tasks {
+				weights = append(weights, q.Weight)
 			}
+			w.Weights = weights
 		}
 	case KindTaskCompletion:
 		w.Node = ev.Node

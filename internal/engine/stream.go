@@ -246,16 +246,16 @@ func (s *Server) handleEventStream(w http.ResponseWriter, r *http.Request) {
 			return nil
 		}
 		if s.limiter != nil {
-			t0 := time.Now()
+			t0 := nowMetric()
 			if err := s.limiter.Wait(ctx, len(batch)); err != nil {
 				return fmt.Errorf("ingest limiter: %w", err)
 			}
-			s.ingest.limiterWait.ObserveDuration(time.Since(t0))
+			s.ingest.limiterWait.ObserveDuration(sinceMetric(t0))
 		}
 		if stepMode == "off" {
 			// Stop reading until the external driver drains the queue.
 			stalled := false
-			t0 := time.Now()
+			t0 := nowMetric()
 			for {
 				s.mu.Lock()
 				pending := s.eng.PendingEvents()
@@ -270,11 +270,11 @@ func (s *Server) handleEventStream(w http.ResponseWriter, r *http.Request) {
 				select {
 				case <-ctx.Done():
 					return ctx.Err()
-				case <-time.After(s.drainPoll):
+				case <-time.After(s.drainPoll): //lb:statefree backpressure poll pacing; event content and order come from the stream, timing only delays admission
 				}
 			}
 			if stalled {
-				s.ingest.stallSeconds.ObserveDuration(time.Since(t0))
+				s.ingest.stallSeconds.ObserveDuration(sinceMetric(t0))
 			}
 		}
 		s.mu.Lock()

@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one parsed //lb: annotation. The grammar is deliberately
+// tiny and machine-checked (malformed directives are diagnostics, not
+// silence):
+//
+//	//lb:<name>[ <reason>]
+//
+// with no space between "//" and "lb:", a lowercase name, and — for the
+// suppression directives — a mandatory non-empty reason:
+//
+//	//lb:orderfree <reason>  justifies a map range in a deterministic
+//	                         package: the reason must argue why iteration
+//	                         order cannot reach observable state.
+//	//lb:statefree <reason>  justifies an ambient clock/RNG/env read: the
+//	                         reason must argue why the value never feeds
+//	                         balancing state (metrics-only timing, a worker
+//	                         count the result is invariant to, ...).
+//	//lb:hotpath             marks a function whose compiled code is held
+//	                         to the zero-new-allocation gate (hotalloc).
+//
+// orderfree and statefree attach to the line they are on or the line
+// directly below them (end-of-line or stacked-above comment); statefree and
+// hotpath may also sit in a function's doc comment, applying to the whole
+// function.
+type Directive struct {
+	Name   string
+	Reason string
+	Pos    token.Position
+	// Line is the source line the directive comment occupies.
+	Line int
+	// FuncDoc is set when the directive sits in a FuncDecl doc comment;
+	// the directive then applies to the whole function body.
+	FuncDoc *ast.FuncDecl
+	// used is set by the analyzer the directive suppressed or marked; the
+	// runner reports directives that justify nothing (drift guard).
+	used bool
+}
+
+const directivePrefix = "//lb:"
+
+// knownDirectives maps each directive name to whether a reason is required.
+var knownDirectives = map[string]bool{
+	"orderfree": true,
+	"statefree": true,
+	"hotpath":   false,
+}
+
+// parseDirectives extracts every //lb: directive in the package and records
+// malformed ones as diagnostics. Near-misses ("// lb:orderfree",
+// "//lb: orderfree") are diagnosed too: a directive that silently fails to
+// attach would otherwise look like an approval.
+func parseDirectives(fset *token.FileSet, files []*ast.File) (dirs []*Directive, diags []Diagnostic) {
+	for _, f := range files {
+		funcOf := funcDocIndex(f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				pos := fset.Position(c.Pos())
+				switch {
+				case strings.HasPrefix(text, directivePrefix):
+					rest := strings.TrimPrefix(text, directivePrefix)
+					name, reason, ok := splitDirective(rest)
+					if !ok {
+						diags = append(diags, diag("lint", pos,
+							"malformed lb directive %q: want //lb:<name> <reason> with no space after the colon", text))
+						continue
+					}
+					needReason, known := knownDirectives[name]
+					if !known {
+						diags = append(diags, diag("lint", pos,
+							"unknown lb directive //lb:%s (known: hotpath, orderfree, statefree)", name))
+						continue
+					}
+					if needReason && reason == "" {
+						diags = append(diags, diag("lint", pos,
+							"//lb:%s requires a non-empty reason: state why the invariant still holds at this site", name))
+						continue
+					}
+					dirs = append(dirs, &Directive{
+						Name:    name,
+						Reason:  reason,
+						Pos:     pos,
+						Line:    pos.Line,
+						FuncDoc: funcOf[cg],
+					})
+				case looksLikeDirective(text):
+					diags = append(diags, diag("lint", pos,
+						"comment %q looks like an lb directive but would not attach; write //lb:<name> with no spaces", text))
+				}
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// splitDirective splits "name reason..." after the //lb: prefix. It fails
+// on an empty name, a leading space (the directive convention forbids
+// "//lb: name"), or a name with non-lowercase characters.
+func splitDirective(rest string) (name, reason string, ok bool) {
+	if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+		return "", "", false
+	}
+	name = rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		name, reason = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	for _, r := range name {
+		if r < 'a' || r > 'z' {
+			return "", "", false
+		}
+	}
+	return name, reason, true
+}
+
+// looksLikeDirective reports whether a comment is a near-miss for the
+// directive grammar: "// lb:..." or "//lb :..." variants that a human
+// plausibly meant as a directive.
+func looksLikeDirective(text string) bool {
+	trimmed := strings.TrimPrefix(text, "//")
+	trimmed = strings.TrimLeft(trimmed, " \t")
+	if !strings.HasPrefix(trimmed, "lb") {
+		return false
+	}
+	rest := strings.TrimPrefix(trimmed, "lb")
+	rest = strings.TrimLeft(rest, " \t")
+	return strings.HasPrefix(rest, ":")
+}
+
+// funcDocIndex maps each doc comment group to its FuncDecl, so directives
+// in function docs can apply function-wide.
+func funcDocIndex(f *ast.File) map[*ast.CommentGroup]*ast.FuncDecl {
+	idx := make(map[*ast.CommentGroup]*ast.FuncDecl)
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+			idx[fd.Doc] = fd
+		}
+	}
+	return idx
+}
+
+// directiveAt returns an unused-or-used directive of the given name
+// covering pos: on the same line, on the line directly above, or in the
+// enclosing function's doc comment (statefree/hotpath only). It marks the
+// directive used.
+func (p *Package) directiveAt(name string, pos token.Position, funcWide bool) *Directive {
+	for _, d := range p.Directives {
+		if d.Name != name || d.Pos.Filename != pos.Filename {
+			continue
+		}
+		if d.FuncDoc != nil {
+			if !funcWide {
+				continue
+			}
+			start := p.Fset.Position(d.FuncDoc.Pos())
+			end := p.Fset.Position(d.FuncDoc.End())
+			if pos.Line >= start.Line && pos.Line <= end.Line {
+				d.used = true
+				return d
+			}
+			continue
+		}
+		if d.Line == pos.Line || d.Line == pos.Line-1 {
+			d.used = true
+			return d
+		}
+	}
+	return nil
+}
+
+// checkDirectives re-emits the malformed-directive diagnostics collected at
+// parse time and validates placement: hotpath must sit in a function doc
+// comment (anywhere else it gates nothing).
+func checkDirectives(pkg *Package) []Diagnostic {
+	out := append([]Diagnostic(nil), pkg.directiveDiags...)
+	for _, d := range pkg.Directives {
+		if d.Name == "hotpath" && d.FuncDoc == nil {
+			out = append(out, diag("lint", d.Pos,
+				"//lb:hotpath must be part of a function's doc comment; here it marks nothing"))
+		}
+	}
+	return out
+}
+
+// staleDirectives reports suppression directives that justified nothing —
+// a stale justification is drift, and drift fails loudly. hotpath is
+// exempt: it is a marker consumed only when escape data is loaded.
+func staleDirectives(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range pkg.Directives {
+		if d.Name == "hotpath" || d.used {
+			continue
+		}
+		if !IsDeterministic(pkg.Path) {
+			out = append(out, diag("lint", d.Pos,
+				"//lb:%s has no effect: package %s is not in the deterministic set", d.Name, pkg.Path))
+			continue
+		}
+		out = append(out, diag("lint", d.Pos,
+			"stale //lb:%s: no %s finding at this site needs justifying; delete the directive", d.Name, analyzerFor(d.Name)))
+	}
+	return out
+}
+
+func analyzerFor(directive string) string {
+	switch directive {
+	case "orderfree":
+		return "maporder"
+	case "statefree":
+		return "nondet"
+	}
+	return directive
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc parses one in-memory file the way the loader does.
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestParseDirectivesGrammar(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+// f is fine.
+//
+//lb:hotpath
+func f() {}
+
+func g() {
+	_ = 1 //lb:orderfree keys are sorted upstream
+	_ = 2 //lb:statefree metrics only
+}
+`)
+	dirs, diags := parseDirectives(fset, files)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics:\n%s", diagList(diags))
+	}
+	if len(dirs) != 3 {
+		t.Fatalf("want 3 directives, got %d", len(dirs))
+	}
+	if dirs[0].Name != "hotpath" || dirs[0].FuncDoc == nil || dirs[0].FuncDoc.Name.Name != "f" {
+		t.Errorf("hotpath directive not bound to f's doc: %+v", dirs[0])
+	}
+	if dirs[1].Name != "orderfree" || dirs[1].Reason != "keys are sorted upstream" {
+		t.Errorf("orderfree reason not captured: %+v", dirs[1])
+	}
+	if dirs[2].FuncDoc != nil {
+		t.Errorf("line directive wrongly bound to a func doc: %+v", dirs[2])
+	}
+}
+
+func TestParseDirectivesMalformed(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`package p
+//lb: orderfree spaced colon
+func f() {}`, "malformed lb directive"},
+		{`package p
+//lb:orderless unknown name
+func f() {}`, "unknown lb directive"},
+		{`package p
+//lb:orderfree
+func f() {}`, "requires a non-empty reason"},
+		{`package p
+//lb:statefree
+func f() {}`, "requires a non-empty reason"},
+		{`package p
+// lb:orderfree near miss
+func f() {}`, "would not attach"},
+		{`package p
+//lb:OrderFree uppercase
+func f() {}`, "malformed lb directive"},
+	}
+	for _, tc := range cases {
+		fset, files := parseSrc(t, tc.src)
+		_, diags := parseDirectives(fset, files)
+		if len(diags) != 1 || !strings.Contains(diags[0].Message, tc.want) {
+			t.Errorf("source %q: want one diagnostic containing %q, got:\n%s", tc.src, tc.want, diagList(diags))
+		}
+	}
+}
+
+// TestDirectiveAt pins the attachment rules: same line, line above, and —
+// for function-wide names — the enclosing doc comment.
+func TestDirectiveAt(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+// doc is justified function-wide.
+//
+//lb:statefree everything here is metrics
+func doc() {
+	_ = 1
+}
+
+func lines() {
+	//lb:orderfree reason above
+	_ = 2
+	_ = 3 //lb:orderfree reason same line
+}
+`)
+	dirs, diags := parseDirectives(fset, files)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics:\n%s", diagList(diags))
+	}
+	pkg := &Package{Fset: fset, Files: files, Directives: dirs}
+
+	at := func(line int) token.Position { return token.Position{Filename: "src.go", Line: line} }
+	if d := pkg.directiveAt("statefree", at(7), true); d == nil {
+		t.Error("function-wide statefree did not cover the body")
+	}
+	if d := pkg.directiveAt("statefree", at(7), false); d != nil {
+		t.Error("doc directive must not apply when funcWide is false")
+	}
+	if d := pkg.directiveAt("orderfree", at(12), false); d == nil {
+		t.Error("line-above directive did not attach")
+	}
+	if d := pkg.directiveAt("orderfree", at(13), false); d == nil {
+		t.Error("same-line directive did not attach")
+	}
+	if d := pkg.directiveAt("orderfree", at(16), false); d != nil {
+		t.Error("directive attached to an unrelated line")
+	}
+}
+
+// TestBaddirPackageDiagnostics runs the runner over the fixture package of
+// wrong directives: every spelling mistake is a finding.
+func TestBaddirPackageDiagnostics(t *testing.T) {
+	pkg := fixturePkg(t, "fixture/baddir")
+	r := &Runner{Analyzers: []Analyzer{MapOrder{}, NonDet{}}}
+	diags := r.Run([]*Package{pkg})
+	want := []string{
+		"malformed lb directive",
+		"unknown lb directive //lb:orderless",
+		"requires a non-empty reason",
+		"would not attach",
+		"//lb:hotpath must be part of a function's doc comment",
+		"has no effect: package fixture/baddir is not in the deterministic set",
+	}
+	for _, w := range want {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic containing %q; got:\n%s", w, diagList(diags))
+		}
+	}
+	if len(diags) != len(want) {
+		t.Errorf("want %d diagnostics, got %d:\n%s", len(want), len(diags), diagList(diags))
+	}
+}

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// HotAlloc holds functions annotated //lb:hotpath to a zero-new-heap-
+// allocation gate: the compiler's escape analysis (go build -gcflags=-m)
+// must report no allocation inside the function's line range that is not
+// in the checked-in allowlist. The allowlist pins the allocations that are
+// known, counted and amortized (slice growth on first fill, the WAL batch
+// buffer); anything new fails review instead of slipping into the
+// per-round path. Stale allowlist entries — an allocation that no longer
+// happens — fail too, so the list tracks reality.
+type HotAlloc struct {
+	// Escapes is the escape-analysis output to check against; nil disables
+	// the analyzer (the runner then reports hotpath directives as unchecked
+	// only if asked to). Produced by RunEscapeAnalysis or synthesized in
+	// tests.
+	Escapes EscapeData
+	// Allow is the allocation allowlist; AllowPath names its file for
+	// diagnostics.
+	Allow     []AllowEntry
+	AllowPath string
+
+	usedAllow map[int]bool
+}
+
+func (*HotAlloc) Name() string { return "hotalloc" }
+func (*HotAlloc) Doc() string {
+	return "//lb:hotpath functions must introduce no heap allocation beyond the checked-in allowlist"
+}
+func (*HotAlloc) Explain() string {
+	return `The four round phases, the gate sweep and the WAL append path run per
+round over every member; an accidental heap allocation there (a closure
+capturing a loop variable, an interface conversion, a slice that escapes)
+turns into GC pressure that scales with n·rounds and shows up directly in
+the benchmark suite. This check reads the compiler's own escape analysis
+(go build -gcflags=-m — replayed from the build cache, so it is cheap on
+repeat runs), attributes "escapes to heap"/"moved to heap" messages to the
+line ranges of functions whose doc comment carries //lb:hotpath, and fails
+on any allocation not pinned in the allowlist file. Known, amortized
+allocations (first-fill slice growth, reusable batch buffers) live in the
+allowlist with the exact compiler message; entries that stop matching are
+reported as stale so the list cannot rot. To fix a finding: hoist the
+allocation out of the hot path (preallocate, reuse a buffer, avoid the
+escaping closure) — or, if it is genuinely amortized, add it to the
+allowlist in the same commit that justifies it.`
+}
+
+// AllowEntry pins one accepted allocation: the package, the enclosing
+// hotpath function, and the exact compiler message.
+type AllowEntry struct {
+	Package  string `json:"package"`
+	Function string `json:"function"`
+	Message  string `json:"message"`
+	// Why documents the amortization argument; informational.
+	Why string `json:"why,omitempty"`
+}
+
+// EscapeDiag is one escape-analysis message at a source position.
+type EscapeDiag struct {
+	Line    int
+	Col     int
+	Message string
+}
+
+// EscapeData maps cleaned absolute file path -> allocation messages.
+type EscapeData map[string][]EscapeDiag
+
+// escapeLine matches one compiler diagnostic: path:line:col: message.
+var escapeLine = regexp.MustCompile(`^(.*\.go):(\d+):(\d+): (.*)$`)
+
+// isAllocation keeps the messages that mean "this heap-allocates":
+// "... escapes to heap" and "moved to heap: x". Negative results ("does
+// not escape") and inliner chatter are dropped.
+func isAllocation(msg string) bool {
+	if strings.Contains(msg, "does not escape") {
+		return false
+	}
+	return strings.Contains(msg, "escapes to heap") || strings.Contains(msg, "moved to heap")
+}
+
+// RunEscapeAnalysis compiles the patterns with -gcflags=-m and collects
+// allocation messages per file. The build cache replays compiler
+// diagnostics, so repeat runs cost a cache probe, not a rebuild. dir is
+// the module directory the relative paths in the output resolve against.
+func RunEscapeAnalysis(dir string, patterns ...string) (EscapeData, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = absDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, stderr.String())
+	}
+	data := make(EscapeData)
+	sc := bufio.NewScanner(&stderr)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := escapeLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		if !isAllocation(m[4]) {
+			continue
+		}
+		path := m[1]
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(absDir, path)
+		}
+		path = filepath.Clean(path)
+		var line, col int
+		fmt.Sscanf(m[2], "%d", &line)
+		fmt.Sscanf(m[3], "%d", &col)
+		data[path] = append(data[path], EscapeDiag{Line: line, Col: col, Message: m[4]})
+	}
+	return data, nil
+}
+
+// LoadAllowlist reads the JSON allocation allowlist. A missing file is an
+// empty list — the gate then admits nothing.
+func LoadAllowlist(path string) ([]AllowEntry, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []AllowEntry
+	if err := json.Unmarshal(b, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return entries, nil
+}
+
+func (ha *HotAlloc) Run(pkg *Package) []Diagnostic {
+	if ha.Escapes == nil {
+		return nil
+	}
+	if ha.usedAllow == nil {
+		ha.usedAllow = make(map[int]bool)
+	}
+	var out []Diagnostic
+	for _, d := range pkg.Directives {
+		if d.Name != "hotpath" || d.FuncDoc == nil {
+			continue
+		}
+		d.used = true
+		fd := d.FuncDoc
+		start := pkg.Fset.Position(fd.Pos())
+		end := pkg.Fset.Position(fd.End())
+		file := filepath.Clean(start.Filename)
+		for _, esc := range ha.Escapes[file] {
+			if esc.Line < start.Line || esc.Line > end.Line {
+				continue
+			}
+			if ha.allowed(pkg.Path, fd.Name.Name, esc.Message) {
+				continue
+			}
+			pos := token.Position{Filename: file, Line: esc.Line, Column: esc.Col}
+			out = append(out, diag(ha.Name(), pos,
+				"heap allocation in //lb:hotpath %s: %q; hoist it out of the hot path or add it to %s with an amortization argument",
+				funcDisplayName(fd), esc.Message, ha.allowName()))
+		}
+	}
+	return out
+}
+
+// Finish reports allowlist entries that matched nothing — a pinned
+// allocation that no longer happens is drift, and drift fails loudly.
+func (ha *HotAlloc) Finish() []Diagnostic {
+	if ha.Escapes == nil {
+		return nil
+	}
+	var out []Diagnostic
+	for i, e := range ha.Allow {
+		if ha.usedAllow[i] {
+			continue
+		}
+		out = append(out, diag(ha.Name(), token.Position{Filename: ha.allowName()},
+			"stale allowlist entry: %s.%s no longer allocates %q; remove it", e.Package, e.Function, e.Message))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Message < out[j].Message })
+	return out
+}
+
+// allowed reports whether the allocation is pinned in the allowlist and
+// marks the matching entry used.
+func (ha *HotAlloc) allowed(pkgPath, funcName, msg string) bool {
+	ok := false
+	for i, e := range ha.Allow {
+		if e.Package == pkgPath && e.Function == funcName && e.Message == msg {
+			ha.usedAllow[i] = true
+			ok = true
+		}
+	}
+	return ok
+}
+
+func (ha *HotAlloc) allowName() string {
+	if ha.AllowPath != "" {
+		return ha.AllowPath
+	}
+	return "the hotalloc allowlist"
+}
+
+// hotpathFuncs returns the functions in pkg marked //lb:hotpath, for
+// callers (like -explain output or tests) that want the annotated set.
+func hotpathFuncs(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, d := range pkg.Directives {
+		if d.Name == "hotpath" && d.FuncDoc != nil {
+			out = append(out, d.FuncDoc)
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// hotFuncLine returns the first and last source line of a fixture function
+// (declaration through closing brace).
+func hotFuncLine(t *testing.T, pkg *Package, name string) (file string, start, end int) {
+	t.Helper()
+	for _, fd := range hotpathFuncs(pkg) {
+		if fd.Name.Name == name {
+			p := pkg.Fset.Position(fd.Pos())
+			return filepath.Clean(p.Filename), p.Line, pkg.Fset.Position(fd.End()).Line
+		}
+	}
+	t.Fatalf("no //lb:hotpath function %s in %s", name, pkg.Path)
+	return "", 0, 0
+}
+
+// TestHotAllocSynthetic drives the gate with hand-built escape data:
+// unlisted allocations in hotpath ranges fail, allowlisted ones pass,
+// allocations outside any hotpath function are ignored, and stale
+// allowlist entries fail.
+func TestHotAllocSynthetic(t *testing.T) {
+	pkg := fixturePkg(t, "fixture/hot")
+	file, start, end := hotFuncLine(t, pkg, "escapingBuffer")
+
+	esc := EscapeData{file: {
+		{Line: start + 1, Col: 9, Message: "make([]byte, 64) escapes to heap"},
+		{Line: start + 1, Col: 20, Message: "listed thing escapes to heap"},
+		{Line: end + 100, Col: 1, Message: "far away escapes to heap"},
+	}}
+	ha := &HotAlloc{
+		Escapes:   esc,
+		AllowPath: "test.allow.json",
+		Allow: []AllowEntry{
+			{Package: "fixture/hot", Function: "escapingBuffer", Message: "listed thing escapes to heap"},
+			{Package: "fixture/hot", Function: "escapingBuffer", Message: "stale thing escapes to heap"},
+		},
+	}
+	diags := ha.Run(pkg)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "make([]byte, 64)") {
+		t.Fatalf("want exactly the unlisted allocation flagged, got:\n%s", diagList(diags))
+	}
+	if diags[0].Line != start+1 {
+		t.Errorf("finding at line %d, want %d", diags[0].Line, start+1)
+	}
+	stale := ha.Finish()
+	if len(stale) != 1 || !strings.Contains(stale[0].Message, "stale thing") {
+		t.Fatalf("want exactly the stale allowlist entry reported, got:\n%s", diagList(stale))
+	}
+}
+
+// TestHotAllocEndToEnd runs the real compiler escape analysis over the hot
+// fixture package: the gate must attribute each genuine allocation to its
+// annotated function, admit the allocation-free function, ignore the
+// unannotated one, and honor the allowlist.
+func TestHotAllocEndToEnd(t *testing.T) {
+	esc, err := RunEscapeAnalysis(fixtureDir, "./hot")
+	if err != nil {
+		t.Fatalf("escape analysis: %v", err)
+	}
+	pkg := fixturePkg(t, "fixture/hot")
+
+	ha := &HotAlloc{Escapes: esc}
+	diags := ha.Run(pkg)
+	if len(diags) < 3 {
+		t.Fatalf("want >=3 real escape findings, got %d:\n%s", len(diags), diagList(diags))
+	}
+	var sawMake, sawMoved, sawClosure bool
+	for _, d := range diags {
+		fn := funcOf(pkg, d)
+		if fn != "escapingBuffer" && fn != "boxedCounter" {
+			t.Errorf("finding attributed outside the allocating hotpath functions (%s): %s", fn, d)
+		}
+		switch {
+		case strings.Contains(d.Message, "make([]int, n)"):
+			sawMake = true
+		case strings.Contains(d.Message, "moved to heap"):
+			sawMoved = true
+		case strings.Contains(d.Message, "func literal"):
+			sawClosure = true
+		}
+	}
+	if !sawMake || !sawMoved || !sawClosure {
+		t.Fatalf("missing an expected allocation class (make=%v moved=%v closure=%v):\n%s",
+			sawMake, sawMoved, sawClosure, diagList(diags))
+	}
+
+	// Allowlisting the slice allocation removes exactly that finding.
+	allowed := &HotAlloc{Escapes: esc, Allow: []AllowEntry{
+		{Package: "fixture/hot", Function: "escapingBuffer", Message: "make([]int, n) escapes to heap"},
+	}}
+	rediags := allowed.Run(pkg)
+	if len(rediags) != len(diags)-1 {
+		t.Fatalf("allowlist should remove one finding: %d -> %d\n%s", len(diags), len(rediags), diagList(rediags))
+	}
+	if stale := allowed.Finish(); len(stale) != 0 {
+		t.Fatalf("live allowlist entry reported stale:\n%s", diagList(stale))
+	}
+}
+
+// TestHotAllocDisabledWithoutEscapes: nil escape data disables the gate
+// (the -noescape mode) instead of fabricating findings.
+func TestHotAllocDisabledWithoutEscapes(t *testing.T) {
+	pkg := fixturePkg(t, "fixture/hot")
+	ha := &HotAlloc{}
+	if diags := ha.Run(pkg); len(diags) != 0 {
+		t.Fatalf("gate ran without escape data:\n%s", diagList(diags))
+	}
+	if stale := ha.Finish(); len(stale) != 0 {
+		t.Fatalf("stale reporting ran without escape data:\n%s", diagList(stale))
+	}
+}
+
+// TestIsAllocation pins the message filter: positives must be kept,
+// negative results and inliner chatter dropped.
+func TestIsAllocation(t *testing.T) {
+	for msg, want := range map[string]bool{
+		"make([]int, n) escapes to heap":    true,
+		"&Engine{...} escapes to heap":      true,
+		"moved to heap: x":                  true,
+		"make([]int, n) does not escape":    false,
+		"can inline clean":                  false,
+		"inlining call to clean":            false,
+		"leaking param: xs to result ~r0":   false,
+		"func literal escapes to heap":      true,
+		"new(hotSet) does not escape":       false,
+		"parameter ev leaks to {heap} with": false,
+	} {
+		if got := isAllocation(msg); got != want {
+			t.Errorf("isAllocation(%q) = %v, want %v", msg, got, want)
+		}
+	}
+}
+
+// TestLoadAllowlist covers the file format and the missing-file case.
+func TestLoadAllowlist(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "allow.json")
+	if entries, err := LoadAllowlist(path); err != nil || entries != nil {
+		t.Fatalf("missing allowlist: got %v, %v; want empty, nil", entries, err)
+	}
+	if err := os.WriteFile(path, []byte(`[{"package":"p","function":"f","message":"m","why":"amortized"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := LoadAllowlist(path)
+	if err != nil || len(entries) != 1 || entries[0].Function != "f" {
+		t.Fatalf("LoadAllowlist = %v, %v", entries, err)
+	}
+	if err := os.WriteFile(path, []byte(`{not json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAllowlist(path); err == nil {
+		t.Fatal("malformed allowlist must error, not silently admit nothing")
+	}
+}
+
+// Positions in synthetic diagnostics must round-trip through the JSON
+// projection the -json mode emits.
+func TestDiagnosticJSONFields(t *testing.T) {
+	d := diag("hotalloc", token.Position{Filename: "f.go", Line: 3, Column: 7}, "msg %d", 1)
+	if d.File != "f.go" || d.Line != 3 || d.Col != 7 || d.Message != "msg 1" {
+		t.Fatalf("diag projection wrong: %+v", d)
+	}
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureDir is the golden-test module: a self-contained `go list`-able
+// tree whose package paths end in the deterministic suffixes.
+const fixtureDir = "testdata/src"
+
+var (
+	fixtureOnce sync.Once
+	fixturePkgs []*Package
+	fixtureErr  error
+)
+
+// loadFixture loads the whole fixture module once per test binary; go list
+// dominates the cost, so every golden test shares one load.
+func loadFixture(t *testing.T) []*Package {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		loader := &Loader{Dir: fixtureDir}
+		fixturePkgs, fixtureErr = loader.Load("./...")
+	})
+	if fixtureErr != nil {
+		t.Fatalf("loading fixture module: %v", fixtureErr)
+	}
+	return fixturePkgs
+}
+
+// fixturePkg returns the fixture package with the given import path.
+func fixturePkg(t *testing.T, path string) *Package {
+	t.Helper()
+	for _, pkg := range loadFixture(t) {
+		if pkg.Path == path {
+			return pkg
+		}
+	}
+	t.Fatalf("fixture package %s not loaded", path)
+	return nil
+}
+
+// funcOf maps a diagnostic to the enclosing fixture function, so golden
+// expectations name functions instead of brittle line numbers. Doc
+// comments count as part of the function: stale-directive diagnostics
+// point at the directive line.
+func funcOf(pkg *Package, d Diagnostic) string {
+	for i, f := range pkg.Files {
+		if filepath.Clean(pkg.GoFiles[i]) != filepath.Clean(d.File) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			start := fd.Pos()
+			if fd.Doc != nil {
+				start = fd.Doc.Pos()
+			}
+			if d.Line >= pkg.Fset.Position(start).Line && d.Line <= pkg.Fset.Position(fd.End()).Line {
+				return fd.Name.Name
+			}
+		}
+	}
+	return ""
+}
+
+// byAnalyzer filters diagnostics to one analyzer.
+func byAnalyzer(diags []Diagnostic, analyzer string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == analyzer {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// wantFuncs asserts that the diagnostics hit exactly the named functions,
+// one finding per name occurrence.
+func wantFuncs(t *testing.T, pkg *Package, diags []Diagnostic, want ...string) {
+	t.Helper()
+	got := make([]string, 0, len(diags))
+	for _, d := range diags {
+		got = append(got, funcOf(pkg, d))
+	}
+	wantCount := make(map[string]int)
+	for _, w := range want {
+		wantCount[w]++
+	}
+	gotCount := make(map[string]int)
+	for _, g := range got {
+		gotCount[g]++
+	}
+	for w, n := range wantCount {
+		if gotCount[w] != n {
+			t.Errorf("want %d finding(s) in %s, got %d\nall findings:\n%s", n, w, gotCount[w], diagList(diags))
+		}
+	}
+	for g, n := range gotCount {
+		if wantCount[g] == 0 {
+			t.Errorf("unexpected %d finding(s) in %q\nall findings:\n%s", n, g, diagList(diags))
+		}
+	}
+}
+
+func diagList(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}
+
+// TestIsDeterministic pins the suffix semantics the analyzers rely on.
+func TestIsDeterministic(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/core":    true,
+		"fixture/internal/core":  true,
+		"internal/core":          true,
+		"repro/internal/engine":  true,
+		"repro/internal/lint":    false,
+		"fixture/baddir":         false,
+		"repro/internal/netsim":  false,
+		"repro/internal/coreExt": false,
+	} {
+		if got := IsDeterministic(path); got != want {
+			t.Errorf("IsDeterministic(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestRunnerSortsDiagnostics pins the stable output order CI diffs rely on.
+func TestRunnerSortsDiagnostics(t *testing.T) {
+	pkgs := []*Package{fixturePkg(t, "fixture/internal/core")}
+	r := &Runner{Analyzers: []Analyzer{MapOrder{}, NonDet{}}}
+	diags := r.Run(pkgs)
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Fatalf("diagnostics not sorted: %s before %s", a, b)
+		}
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected findings from the core fixture")
+	}
+}

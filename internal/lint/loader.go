@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and (where possible) type-checked package.
+type Package struct {
+	// Path is the import path; Dir the source directory.
+	Path string
+	Dir  string
+	// Fset positions every file of the load (shared across packages).
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, in GoFiles order.
+	Files []*ast.File
+	// GoFiles are the absolute paths of the parsed files.
+	GoFiles []string
+	// Types and Info carry the type-check result; Info is non-nil even
+	// after a type error (filled for the parts that checked).
+	Types *types.Package
+	Info  *types.Info
+	// TypeErr is the first type-check error; ListErr a go list load error.
+	// Either surfaces as a diagnostic — never as silence.
+	TypeErr error
+	ListErr error
+	// Directives are the parsed //lb: annotations of the package.
+	Directives     []*Directive
+	directiveDiags []Diagnostic
+}
+
+// loadDiagnostics converts load and type-check failures into findings.
+func (p *Package) loadDiagnostics() []Diagnostic {
+	var out []Diagnostic
+	if p.ListErr != nil {
+		out = append(out, diag("lint", token.Position{Filename: p.Dir},
+			"package %s failed to load: %v", p.Path, p.ListErr))
+	}
+	if p.TypeErr != nil {
+		pos := token.Position{Filename: p.Dir}
+		if te, ok := p.TypeErr.(types.Error); ok {
+			pos = te.Fset.Position(te.Pos)
+		}
+		out = append(out, diag("lint", pos,
+			"package %s failed to type-check: %v (analyzers needing type information ran degraded)", p.Path, p.TypeErr))
+	}
+	return out
+}
+
+// Loader loads packages for analysis. It shells out to `go list -json`
+// for build-system metadata (file sets, import resolution, export data for
+// dependencies) and runs go/parser + go/types itself, so the module under
+// analysis needs no dependencies beyond the standard toolchain.
+type Loader struct {
+	// Dir is the directory go list runs in; empty means the process cwd.
+	Dir string
+	// Env appends to the go command's environment (tests pin GOFLAGS).
+	Env []string
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load lists the packages matching patterns plus their full dependency
+// closure, parses the matched packages, and type-checks them against the
+// toolchain's export data. Packages that fail to list or type-check are
+// returned with ListErr/TypeErr set — callers decide whether that is fatal
+// (the Runner reports it as a diagnostic).
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string, len(listed))
+	importMap := make(map[string]string)
+	var targets []*listedPackage
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		for from, to := range lp.ImportMap {
+			importMap[from] = to
+		}
+		if !lp.DepOnly && !lp.Standard {
+			// A pattern that resolves to nothing comes back as a pseudo-
+			// package with no directory and no files — only an Error. That
+			// is a caller mistake, not an analyzable package: fail the load
+			// rather than report a clean pass over zero code.
+			if lp.Error != nil && lp.Dir == "" && len(lp.GoFiles) == 0 {
+				return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, strings.TrimSpace(lp.Error.Err))
+			}
+			targets = append(targets, lp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	if len(targets) == 0 {
+		// `go list -e` exits zero on a pattern that matches nothing; an
+		// analysis run over zero packages would report a clean pass for
+		// code that was never looked at.
+		return nil, fmt.Errorf("go list %s: no packages matched", strings.Join(patterns, " "))
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (dependency failed to build?)", path)
+		}
+		return os.Open(exp)
+	})
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		pkg := &Package{Path: lp.ImportPath, Dir: lp.Dir, Fset: fset}
+		if lp.Error != nil {
+			pkg.ListErr = fmt.Errorf("%s", strings.TrimSpace(lp.Error.Err))
+		}
+		for _, name := range lp.GoFiles {
+			fname := filepath.Join(lp.Dir, name)
+			f, perr := parser.ParseFile(fset, fname, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if perr != nil {
+				if pkg.TypeErr == nil {
+					pkg.TypeErr = perr
+				}
+				continue
+			}
+			pkg.Files = append(pkg.Files, f)
+			pkg.GoFiles = append(pkg.GoFiles, fname)
+		}
+		pkg.Directives, pkg.directiveDiags = parseDirectives(fset, pkg.Files)
+		if pkg.TypeErr == nil && len(pkg.Files) > 0 {
+			l.typeCheck(pkg, imp)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typeCheck runs go/types over the package's parsed files. Errors are
+// recorded, not fatal: Info stays usable for the prefix that checked, and
+// the Runner reports the failure as a finding.
+func (l *Loader) typeCheck(pkg *Package, imp types.Importer) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if pkg.TypeErr == nil {
+				pkg.TypeErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(pkg.Path, pkg.Fset, pkg.Files, info)
+	if err != nil && pkg.TypeErr == nil {
+		pkg.TypeErr = err
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+}
+
+// goList runs `go list -e -export -deps -json` over the patterns and
+// decodes the package stream. -e keeps broken packages in the output with
+// their Error field set; -export materializes dependency export data in the
+// build cache so the type-checker never parses dependency source.
+func (l *Loader) goList(patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Imports,ImportMap,Export,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), l.Env...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var out []*listedPackage
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}

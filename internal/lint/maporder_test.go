@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// TestMapOrderGolden runs maporder over the core fixture and asserts the
+// violations land in exactly the functions written to violate, while every
+// admitted pattern (integer accumulation, disjoint writes, deletes,
+// justified sites) passes.
+func TestMapOrderGolden(t *testing.T) {
+	pkg := fixturePkg(t, "fixture/internal/core")
+	diags := (MapOrder{}).Run(pkg)
+	wantFuncs(t, pkg, diags,
+		"floatAccumulation",
+		"orderedAppend",
+		"lastWriterWins",
+		"callInBody",
+	)
+	for _, d := range diags {
+		if d.Analyzer != "maporder" {
+			t.Errorf("wrong analyzer tag on %s", d)
+		}
+	}
+}
+
+// TestMapOrderSkipsNonDeterministicPackages: the same patterns outside the
+// deterministic set are not maporder's business.
+func TestMapOrderSkipsNonDeterministicPackages(t *testing.T) {
+	pkg := fixturePkg(t, "fixture/baddir")
+	if diags := (MapOrder{}).Run(pkg); len(diags) != 0 {
+		t.Fatalf("maporder fired outside the deterministic set:\n%s", diagList(diags))
+	}
+}
+
+// TestMapOrderBugClassFlipsHash is the executable form of the bug class
+// maporder exists to catch: summing the same three floats in two iteration
+// orders produces different values, so any state hash over the sum differs
+// between two executions of identical input. Go randomizes map iteration
+// per execution — an unsorted map range feeding a float accumulator IS
+// this test, run by the scheduler.
+func TestMapOrderBugClassFlipsHash(t *testing.T) {
+	weights := map[int]float64{1: 0.1, 2: 0.2, 3: 0.3}
+	sumIn := func(order ...int) float64 {
+		var sum float64
+		for _, k := range order {
+			sum += weights[k]
+		}
+		return sum
+	}
+	a, b := sumIn(1, 2, 3), sumIn(3, 2, 1)
+	if a == b {
+		t.Fatalf("expected order-dependent float sums, got %v twice", a)
+	}
+	hash := func(v float64) [sha256.Size]byte {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		return sha256.Sum256(buf[:])
+	}
+	if hash(a) == hash(b) {
+		t.Fatal("state hashes over the two sums should differ")
+	}
+
+	// And the analyzer catches the fixture function containing exactly
+	// this pattern over a real map range.
+	pkg := fixturePkg(t, "fixture/internal/core")
+	for _, d := range (MapOrder{}).Run(pkg) {
+		if funcOf(pkg, d) == "floatAccumulation" {
+			return
+		}
+	}
+	t.Fatal("maporder did not flag the float-accumulation fixture")
+}
+
+// TestMapOrderStaleDirective: a justification that justifies nothing is
+// drift and must fail loudly.
+func TestMapOrderStaleDirective(t *testing.T) {
+	pkg := fixturePkg(t, "fixture/internal/core")
+	r := &Runner{Analyzers: []Analyzer{MapOrder{}, NonDet{}}}
+	diags := r.Run([]*Package{pkg})
+	var staleOrder, staleState bool
+	for _, d := range byAnalyzer(diags, "lint") {
+		switch funcOf(pkg, d) {
+		case "staleJustification":
+			staleOrder = true
+		case "staleAmbientJustification":
+			staleState = true
+		}
+	}
+	if !staleOrder {
+		t.Error("stale //lb:orderfree not reported")
+	}
+	if !staleState {
+		t.Error("stale //lb:statefree not reported")
+	}
+	// The used justifications must NOT be reported stale.
+	for _, d := range byAnalyzer(diags, "lint") {
+		if f := funcOf(pkg, d); f == "justifiedProbe" || f == "sortedSum" || f == "justifiedTiming" || f == "metricsProbe" {
+			t.Errorf("live justification reported stale: %s", d)
+		}
+	}
+}

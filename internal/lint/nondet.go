@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NonDet forbids ambient nondeterminism sources — wall clocks, the global
+// math/rand source, environment reads and GOMAXPROCS/NumCPU — inside the
+// deterministic packages. Randomness is fine when it flows through a
+// seeded, injected *rand.Rand (the generator pattern the scenario registry
+// and graph generators use); time is fine when it comes from an injected
+// clock (the workload.TokenBucket pattern). An ambient read that provably
+// never feeds balancing state (metrics-only timing, a worker count the
+// result is invariant to) is justified site-by-site or function-wide with
+// //lb:statefree <reason>.
+type NonDet struct{}
+
+func (NonDet) Name() string { return "nondet" }
+func (NonDet) Doc() string {
+	return "forbids ambient clock/global-rand/env/GOMAXPROCS reads in deterministic packages unless //lb:statefree-justified"
+}
+func (NonDet) Explain() string {
+	return `Bit-identity across the four Algorithm 1 executions — and across a WAL
+crash/replay boundary — requires that every input to balancing state be
+part of the event stream or the seed. An ambient read smuggles in a hidden
+input: time.Now feeding a decision makes replay diverge from the original
+run; the global math/rand source is process-wide shared state whose
+sequence depends on unrelated callers; os.Getenv and runtime.GOMAXPROCS
+make results machine-dependent. Inject instead: pass a seeded *rand.Rand
+(rand.New(rand.NewSource(seed))), accept a clock function like
+workload.TokenBucket does, and thread configuration through Config structs.
+Reads that provably never reach state (stage-timing histograms, a worker
+count the engine is deterministic across) carry //lb:statefree <reason>.`
+}
+
+// forbiddenFuncs maps package path -> function name -> true for the
+// ambient-nondeterminism entry points.
+var forbiddenFuncs = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Since": true, "Until": true, "After": true,
+		"AfterFunc": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+		"Sleep": true,
+	},
+	"os": {
+		"Getenv": true, "LookupEnv": true, "Environ": true,
+	},
+	"runtime": {
+		"GOMAXPROCS": true, "NumCPU": true,
+	},
+	// For math/rand and math/rand/v2 every package-level draw hits the
+	// global source; only the constructors of seeded generators are allowed.
+	"math/rand":    nil,
+	"math/rand/v2": nil,
+}
+
+// allowedRandFuncs are the math/rand package-level functions that build
+// seeded generators instead of consuming the global source.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func (nd NonDet) Run(pkg *Package) []Diagnostic {
+	if !IsDeterministic(pkg.Path) || pkg.Info == nil {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			funcs, forbiddenPkg := forbiddenFuncs[path]
+			if !forbiddenPkg {
+				return true
+			}
+			name := sel.Sel.Name
+			switch {
+			case funcs != nil && !funcs[name]:
+				return true
+			case funcs == nil && allowedRandFuncs[name]:
+				return true
+			case funcs == nil && !isFunc(pkg, sel.Sel):
+				// rand.Source, rand.Rand, ... — type references are fine.
+				return true
+			}
+			pos := pkg.Fset.Position(sel.Pos())
+			if d := pkg.directiveAt("statefree", pos, true); d != nil {
+				return true
+			}
+			out = append(out, diag(nd.Name(), pos,
+				"ambient nondeterminism: %s.%s in a deterministic package; inject a seeded generator/clock or justify with //lb:statefree <reason>",
+				path, name))
+			return true
+		})
+	}
+	return out
+}
+
+// isFunc reports whether the selected package member is a function (as
+// opposed to a type or variable reference).
+func isFunc(pkg *Package, sel *ast.Ident) bool {
+	obj := pkg.Info.Uses[sel]
+	_, ok := obj.(*types.Func)
+	return ok
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNonDetGolden: ambient reads are flagged, the seeded-generator and
+// injected-clock patterns pass, justified sites pass.
+func TestNonDetGolden(t *testing.T) {
+	pkg := fixturePkg(t, "fixture/internal/core")
+	diags := (NonDet{}).Run(pkg)
+	wantFuncs(t, pkg, diags,
+		"wallClockDecision",
+		"globalRandDraw",
+		"envRead",
+		"coreCount",
+	)
+}
+
+// TestNonDetMessagesNameTheSource: each finding names the forbidden
+// package.function so the fix is obvious from the CI log alone.
+func TestNonDetMessagesNameTheSource(t *testing.T) {
+	pkg := fixturePkg(t, "fixture/internal/core")
+	want := map[string]string{
+		"wallClockDecision": "time.Now",
+		"globalRandDraw":    "math/rand.Intn",
+		"envRead":           "os.Getenv",
+		"coreCount":         "runtime.GOMAXPROCS",
+	}
+	for _, d := range (NonDet{}).Run(pkg) {
+		fn := funcOf(pkg, d)
+		if sub, ok := want[fn]; ok && !strings.Contains(d.Message, sub) {
+			t.Errorf("finding in %s should mention %q: %s", fn, sub, d.Message)
+		}
+	}
+}
+
+// TestNonDetSkipsNonDeterministicPackages.
+func TestNonDetSkipsNonDeterministicPackages(t *testing.T) {
+	pkg := fixturePkg(t, "fixture/baddir")
+	if diags := (NonDet{}).Run(pkg); len(diags) != 0 {
+		t.Fatalf("nondet fired outside the deterministic set:\n%s", diagList(diags))
+	}
+}

@@ -1,0 +1,40 @@
+// Package baddir holds every way to write an lb directive wrong; each one
+// must be a diagnostic, because a directive that silently fails to attach
+// looks exactly like an approval.
+package baddir
+
+// hyphenName is malformed: directive names are lowercase letters only.
+// (The spaced-colon variant, //lb: name, is covered by the in-memory
+// parser tests — gofmt rewrites it in a real file.)
+//
+//lb:order-free would-be reason
+func hyphenName() {}
+
+// unknownName is not a known directive.
+//
+//lb:orderless misspelled
+func unknownName() {}
+
+// missingReason omits the mandatory justification.
+//
+//lb:orderfree
+func missingReason() {}
+
+// nearMiss has a space between // and lb: — a human plausibly meant a
+// directive, so it is flagged rather than ignored.
+//
+// lb:statefree looks justified but attaches nothing
+func nearMiss() {}
+
+// hotpathMisplaced puts the marker on a statement instead of a function
+// doc comment, where it gates nothing.
+func hotpathMisplaced() int {
+	x := 1 //lb:hotpath
+	return x
+}
+
+// noEffect is well-formed but sits in a package outside the deterministic
+// set, so it cannot justify anything.
+func noEffect() {
+	_ = 0 //lb:statefree this package is not in the deterministic set
+}

@@ -1,0 +1,7 @@
+// Package broken fails to type-check: the loader must surface the failure
+// as a diagnostic, never as silence.
+package broken
+
+func brokenCall() int {
+	return undefinedFunction(42)
+}

@@ -1,0 +1,45 @@
+// Package hot exercises the hotalloc escape gate end to end: the test runs
+// the real compiler escape analysis (go build -gcflags=-m) over this
+// package and asserts the gate attributes each allocation to the right
+// annotated function.
+package hot
+
+// escapingBuffer allocates on every call: the returned slice escapes.
+//
+//lb:hotpath
+func escapingBuffer(n int) []int {
+	buf := make([]int, n)
+	for i := range buf {
+		buf[i] = i
+	}
+	return buf
+}
+
+// boxedCounter leaks a pointer to a local, moving it to the heap, and
+// returns an escaping closure.
+//
+//lb:hotpath
+func boxedCounter() func() int {
+	x := 0
+	return func() int {
+		x++
+		return x
+	}
+}
+
+// clean is hot and allocation-free: the gate admits it without allowlist
+// entries.
+//
+//lb:hotpath
+func clean(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// coldAllocator allocates but is not annotated, so the gate ignores it.
+func coldAllocator(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,71 @@
+// ambient.go is the golden fixture for the nondet analyzer: forbidden
+// ambient reads, the admitted seeded-generator pattern, and justified
+// sites. Expected findings are asserted in nondet_test.go.
+package core
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+)
+
+// wallClockDecision feeds the wall clock into a return value — the
+// canonical replay-divergence bug.
+func wallClockDecision() int64 {
+	return time.Now().UnixNano()
+}
+
+// globalRandDraw consumes the process-global math/rand source, whose
+// sequence depends on every other caller in the process.
+func globalRandDraw(n int) int {
+	return rand.Intn(n)
+}
+
+// envRead makes the result machine-dependent.
+func envRead() string {
+	return os.Getenv("LB_MODE")
+}
+
+// coreCount reads GOMAXPROCS into a value.
+func coreCount() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// seededGenerator is the admitted pattern: a generator built from an
+// explicit seed, so replay reproduces the sequence.
+func seededGenerator(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// injectedDraw consumes an injected generator — method calls on a
+// *rand.Rand are not ambient.
+func injectedDraw(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}
+
+// justifiedTiming carries a site-level justification.
+func justifiedTiming(observe func(time.Duration)) {
+	t0 := time.Now() //lb:statefree metrics-only timing: the duration feeds an observer, never state
+	observe(sinceStart(t0))
+}
+
+func sinceStart(t0 time.Time) time.Duration {
+	return 0
+}
+
+// metricsProbe is justified function-wide from its doc comment.
+//
+//lb:statefree metrics-only: every read in this function feeds histograms
+func metricsProbe(observe func(time.Duration)) {
+	t0 := time.Now()
+	observe(time.Since(t0))
+}
+
+// staleAmbientJustification justifies nothing — the function has no
+// ambient read — so the runner reports the directive as stale.
+//
+//lb:statefree stale: nothing here reads ambient state
+func staleAmbientJustification() int {
+	return 42
+}

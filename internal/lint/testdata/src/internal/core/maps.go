@@ -1,0 +1,118 @@
+// Package core is a golden fixture for the maporder analyzer: its import
+// path ends in internal/core, so it sits in the deterministic set. Each
+// function is one caught violation or one admitted pattern; the expected
+// findings are asserted in maporder_test.go.
+package core
+
+import "sort"
+
+// floatAccumulation is the real bug class: an unsorted map range feeding a
+// float sum. Addition does not associate, so iteration order flips the low
+// mantissa bits of the result — and with them any state hash derived from
+// it.
+func floatAccumulation(weights map[int]float64) float64 {
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	return sum
+}
+
+// orderedAppend leaks iteration order directly into a slice.
+func orderedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// lastWriterWins stores a value that depends on which key iterates last.
+func lastWriterWins(m map[int]int) int {
+	var last int
+	for _, v := range m {
+		last = v
+	}
+	return last
+}
+
+// callInBody hands the key to an arbitrary function; the proof cannot see
+// through the call, so the site needs a sort or a directive.
+func callInBody(m map[int]int, emit func(int)) {
+	for k := range m {
+		emit(k)
+	}
+}
+
+// integerCount is admitted: integer accumulation commutes.
+func integerCount(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// weightTotal is admitted: integer += of a pure expression.
+func weightTotal(m map[int]int64) int64 {
+	var total int64
+	for _, w := range m {
+		total += w
+	}
+	return total
+}
+
+// pruneZeros is admitted: delete of the range key commutes across
+// iterations (distinct keys, disjoint deletes).
+func pruneZeros(m map[int]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// mirror is admitted: disjoint writes keyed by the range key.
+func mirror(src map[int]int, dst map[int]int) {
+	for k, v := range src {
+		dst[k] = v * 2
+	}
+}
+
+// justifiedProbe carries a reviewed justification, so the site passes.
+func justifiedProbe(m map[int]bool) bool {
+	found := false
+	//lb:orderfree existence probe: the loop only tests membership, any order finds the same answer
+	for _, ok := range m {
+		if ok {
+			found = true
+		}
+	}
+	return found
+}
+
+// sortedSum is the fix for floatAccumulation: iterate a sorted key slice.
+func sortedSum(weights map[int]float64) float64 {
+	keys := make([]int, 0, len(weights))
+	//lb:orderfree key collection only; the slice is sorted before any order-sensitive use
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += weights[k]
+	}
+	return sum
+}
+
+// staleJustification sits on a slice loop: maporder never fires here, so
+// the directive justifies nothing and the runner reports it as stale.
+func staleJustification(xs []int) int {
+	n := 0
+	//lb:orderfree stale: this loop ranges a slice, not a map
+	for range xs {
+		n++
+	}
+	return n
+}

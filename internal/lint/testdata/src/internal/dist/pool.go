@@ -1,0 +1,90 @@
+// Package dist mirrors the production pool surface for ledgerflow's golden
+// tests: SendState carries the guarded weight-bearing method set, its own
+// implementation is self-approved, and runRound is the approved per-node
+// round. leakDrain is the violation: a free function in the defining
+// package is neither.
+package dist
+
+type Task struct {
+	Weight int64
+	Dummy  bool
+}
+
+type Arc struct{ Edge, Out, To int }
+
+// SendState is the fixture pool; the method names match the production
+// guarded table.
+type SendState struct {
+	tasks []Task
+	total int64
+}
+
+func (st *SendState) AddTasks(ts []Task) {
+	st.tasks = append(st.tasks, ts...)
+	for _, t := range ts {
+		st.total += t.Weight
+	}
+}
+
+func (st *SendState) RemoveNewestReal() (Task, bool) {
+	for i := len(st.tasks) - 1; i >= 0; i-- {
+		if !st.tasks[i].Dummy {
+			t := st.tasks[i]
+			st.tasks = append(st.tasks[:i], st.tasks[i+1:]...)
+			st.total -= t.Weight
+			return t, true
+		}
+	}
+	return Task{}, false
+}
+
+func (st *SendState) Drain() []Task {
+	out := st.tasks
+	st.tasks = nil
+	st.total = 0
+	return out
+}
+
+// Take draws via the unexported fast path — self-approved: the defining
+// implementation may compose its own guarded methods.
+func (st *SendState) Take() (int64, bool) {
+	return st.take()
+}
+
+func (st *SendState) take() (int64, bool) {
+	if len(st.tasks) == 0 {
+		return 0, false
+	}
+	t := st.tasks[len(st.tasks)-1]
+	st.tasks = st.tasks[:len(st.tasks)-1]
+	st.total -= t.Weight
+	return t.Weight, true
+}
+
+// Receive appends a delivered batch — again via a guarded sibling.
+func (st *SendState) Receive(k int, a Arc, ts []Task) {
+	st.AddTasks(ts)
+}
+
+func (st *SendState) DecideSends(neigh []Arc, fl []float64, wmax int64) [][]Task {
+	out := make([][]Task, len(neigh))
+	for k := range neigh {
+		if w, ok := st.take(); ok {
+			out[k] = []Task{{Weight: w}}
+		}
+	}
+	return out
+}
+
+// runRound is the approved per-node round call site.
+func runRound(st *SendState, neigh []Arc, fl []float64, wmax int64) {
+	batches := st.DecideSends(neigh, fl, wmax)
+	for k, a := range neigh {
+		st.Receive(k, a, batches[k])
+	}
+}
+
+// leakDrain bypasses the ledger: not a SendState method, not approved.
+func leakDrain(st *SendState) []Task {
+	return st.Drain()
+}
